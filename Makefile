@@ -1,0 +1,38 @@
+# resmod build/test/experiment entry points (stdlib-only Go module).
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench experiments report clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure (console form).
+experiments:
+	$(GO) run ./cmd/resmod all -trials 400
+
+# Regenerate EXPERIMENTS.md (markdown, paper-vs-measured).  The paper's
+# statistical protocol is -trials 4000; 400 keeps a laptop run ~35 minutes.
+report:
+	$(GO) run ./cmd/resmod report -trials 400 > EXPERIMENTS.md
+
+clean:
+	$(GO) clean ./...

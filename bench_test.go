@@ -1,0 +1,284 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, each driving the same experiment pipeline the resmod CLI
+// uses, at a reduced trial count (the paper's 4000-test deployments are
+// regenerated with `go run ./cmd/resmod all -trials 4000`).  A fresh
+// session per iteration keeps the caching layer from hiding the real cost.
+//
+// Micro-benchmarks for the substrates (instrumented FP ops, collectives,
+// whole-application runs) follow the figure benchmarks.
+package resmod_test
+
+import (
+	"testing"
+
+	"resmod"
+	"resmod/internal/analysis"
+	"resmod/internal/apps"
+	"resmod/internal/exper"
+	"resmod/internal/faultsim"
+	"resmod/internal/fpe"
+	"resmod/internal/simmpi"
+)
+
+// benchTrials keeps figure regeneration affordable under `go test -bench`.
+const benchTrials = 25
+
+func benchSession(seed uint64) *exper.Session {
+	return exper.NewSession(exper.Config{Trials: benchTrials, Seed: seed})
+}
+
+func BenchmarkTable1ParallelUnique(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Table1(benchSession(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2CosineSimilarity(b *testing.B) {
+	// One benchmark's 4V64 + 8V64 similarity per iteration (PENNANT is the
+	// cheapest per run); the full table is `resmod table2`.
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Table2(benchSession(uint64(i)), []string{"PENNANT"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1PropagationCG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Propagation(benchSession(uint64(i)), "CG", 8, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2PropagationFT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Propagation(benchSession(uint64(i)), "FT", 8, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Characterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Fig3(benchSession(uint64(i)), "PENNANT", 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5PredictFromFour(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.PredictOne(benchSession(uint64(i)), "CG", "", 4, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6PredictFromEight(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.PredictOne(benchSession(uint64(i)), "CG", "", 8, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Predict128(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.PredictOne(benchSession(uint64(i)), "CG", "S", 8, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8SensitivitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Fig8(benchSession(uint64(i)), []string{"PENNANT"},
+			[]int{4, 8}, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks -------------------------------------------
+
+func BenchmarkFPEInstrumentedOp(b *testing.B) {
+	fc := fpe.New()
+	s := 0.0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s = fc.Add(s, fc.Mul(1.0000001, 0.999999))
+	}
+	_ = s
+}
+
+func BenchmarkFPEWithPendingPlan(b *testing.B) {
+	// The common case during campaigns: a plan exists but has not fired.
+	fc := fpe.NewWithPlan([]fpe.Injection{{Index: 1 << 62}})
+	s := 0.0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s = fc.Add(s, 1)
+	}
+	_ = s
+}
+
+func BenchmarkAllreduce8(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := simmpi.Run(simmpi.Config{Procs: 8}, func(c *simmpi.Comm) error {
+			for k := 0; k < 10; k++ {
+				c.AllreduceValue(simmpi.OpSum, float64(c.Rank()))
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlltoall8(b *testing.B) {
+	payload := make([]float64, 64)
+	for i := 0; i < b.N; i++ {
+		_, err := simmpi.Run(simmpi.Config{Procs: 8}, func(c *simmpi.Comm) error {
+			send := make([][]float64, 8)
+			for r := range send {
+				send[r] = payload
+			}
+			c.Alltoall(send)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkApp(b *testing.B, name string, procs int) {
+	b.Helper()
+	app, err := apps.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res := apps.Execute(app, app.DefaultClass(), procs, nil, apps.DefaultTimeout)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+func BenchmarkAppCGSerial(b *testing.B)      { benchmarkApp(b, "CG", 1) }
+func BenchmarkAppCG8(b *testing.B)           { benchmarkApp(b, "CG", 8) }
+func BenchmarkAppFTSerial(b *testing.B)      { benchmarkApp(b, "FT", 1) }
+func BenchmarkAppMGSerial(b *testing.B)      { benchmarkApp(b, "MG", 1) }
+func BenchmarkAppLUSerial(b *testing.B)      { benchmarkApp(b, "LU", 1) }
+func BenchmarkAppMiniFESerial(b *testing.B)  { benchmarkApp(b, "MiniFE", 1) }
+func BenchmarkAppPENNANTSerial(b *testing.B) { benchmarkApp(b, "PENNANT", 1) }
+
+func BenchmarkCampaignTrial(b *testing.B) {
+	// Cost of one fault injection test (golden precomputed) on the
+	// cheapest app.
+	app, err := apps.Lookup("PENNANT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden, err := faultsim.ComputeGolden(app, "leblanc", 1, apps.DefaultTimeout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := faultsim.RunAgainst(faultsim.Campaign{
+			App: app, Class: "leblanc", Procs: 1, Trials: 1, Seed: uint64(i),
+		}, golden)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- ablation benchmarks (DESIGN.md design-choice studies) ----------------
+
+func BenchmarkAblationBitSweep(b *testing.B) {
+	app, err := apps.Lookup("PENNANT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_, err := analysis.BitSweep(analysis.Config{
+			App: app, Procs: 1, Trials: benchTrials, Seed: uint64(i),
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationKindSweep(b *testing.B) {
+	app, err := apps.Lookup("PENNANT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.KindSweep(analysis.Config{
+			App: app, Procs: 1, Trials: benchTrials, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPatternSweep(b *testing.B) {
+	app, err := apps.Lookup("PENNANT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.PatternSweep(analysis.Config{
+			App: app, Procs: 1, Trials: benchTrials, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPhaseSweep(b *testing.B) {
+	app, err := apps.Lookup("PENNANT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.PhaseSweep(analysis.Config{
+			App: app, Procs: 1, Trials: benchTrials, Seed: uint64(i),
+		}, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelPredict(b *testing.B) {
+	xs, _ := resmod.SampleXs(64, 8)
+	rates := make([]resmod.Rates, len(xs))
+	for i := range rates {
+		rates[i] = resmod.Rates{Success: 0.9 - float64(i)*0.05, SDC: 0.1 + float64(i)*0.05, N: 1000}
+	}
+	curve, err := resmod.NewSerialCurve(64, xs, rates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile := []float64{0.7, 0.05, 0.05, 0.05, 0.05, 0.03, 0.02, 0.05}
+	cond := map[int]resmod.Rates{1: {Success: 0.88, SDC: 0.12, N: 100}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := resmod.Predict(resmod.ModelInputs{
+			P: 64, Serial: curve, SmallProfile: profile, SmallConditional: cond,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"resmod/internal/apps"
+	"resmod/internal/faultsim"
+	"resmod/internal/fpe"
+)
+
+// campaignOptions are the knobs of one custom deployment.
+type campaignOptions struct {
+	app     string
+	class   string
+	procs   int
+	trials  int
+	errors  int
+	seed    uint64
+	region  string
+	pattern string
+	kinds   string
+	bit     int
+	spread  bool
+	winLo   float64
+	winHi   float64
+	tol     float64
+	workers int
+	json    bool
+}
+
+// doCampaign runs a single fully-configurable fault injection deployment —
+// the CLI surface over faultsim.Campaign.
+func doCampaign(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var o campaignOptions
+	fs.StringVar(&o.app, "app", "CG", "benchmark")
+	fs.StringVar(&o.class, "class", "", "problem class (default: app default)")
+	fs.IntVar(&o.procs, "procs", 8, "rank count")
+	fs.IntVar(&o.trials, "trials", 400, "fault injection tests")
+	fs.IntVar(&o.errors, "errors", 1, "simultaneous errors per test")
+	fs.BoolVar(&o.spread, "spread", false, "distribute the errors across distinct ranks")
+	fs.Uint64Var(&o.seed, "seed", 1, "seed")
+	fs.StringVar(&o.region, "region", "any", "injection region: any, common, unique")
+	fs.StringVar(&o.pattern, "pattern", "single", "fault pattern: single, double, burst4, word")
+	fs.StringVar(&o.kinds, "kinds", "", "restrict op kinds: add, mul, or empty for any")
+	fs.IntVar(&o.bit, "bit", -1, "pin the flipped bit (single-bit pattern); -1 = random")
+	fs.Float64Var(&o.winLo, "window-lo", 0, "injection window start fraction")
+	fs.Float64Var(&o.winHi, "window-hi", 1, "injection window end fraction")
+	fs.Float64Var(&o.tol, "contamination-tol", 0, "contamination tolerance (0 = default, <0 = bit-exact)")
+	fs.IntVar(&o.workers, "workers", 0, "trial concurrency")
+	fs.BoolVar(&o.json, "json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	app, err := apps.Lookup(o.app)
+	if err != nil {
+		return err
+	}
+	c := faultsim.Campaign{
+		App: app, Class: o.class, Procs: o.procs, Trials: o.trials,
+		Errors: o.errors, Seed: o.seed, Workers: o.workers,
+		SpreadErrors: o.spread, ContaminationTol: o.tol,
+	}
+	switch strings.ToLower(o.region) {
+	case "", "any":
+		c.Region = faultsim.AnyRegion
+	case "common":
+		c.Region = faultsim.CommonOnly
+	case "unique":
+		c.Region = faultsim.UniqueOnly
+	default:
+		return fmt.Errorf("unknown region %q", o.region)
+	}
+	switch strings.ToLower(o.pattern) {
+	case "", "single":
+		c.Pattern = fpe.SingleBit
+	case "double":
+		c.Pattern = fpe.DoubleBit
+	case "burst4":
+		c.Pattern = fpe.Burst4
+	case "word":
+		c.Pattern = fpe.WordRandom
+	default:
+		return fmt.Errorf("unknown pattern %q", o.pattern)
+	}
+	switch strings.ToLower(o.kinds) {
+	case "":
+	case "add":
+		c.KindMask = 1<<uint(fpe.OpAdd) | 1<<uint(fpe.OpSub)
+	case "mul":
+		c.KindMask = 1 << uint(fpe.OpMul)
+	default:
+		return fmt.Errorf("unknown kind restriction %q", o.kinds)
+	}
+	if o.bit >= 0 {
+		b := uint(o.bit)
+		c.FixedBit = &b
+	}
+	if o.winLo != 0 || o.winHi != 1 {
+		win := [2]float64{o.winLo, o.winHi}
+		c.Window = &win
+	}
+
+	start := time.Now()
+	sum, err := faultsim.Run(c)
+	if err != nil {
+		return err
+	}
+	if o.json {
+		type result struct {
+			Rates        any
+			Hist         []uint64
+			UniqueFrac   float64
+			AvgFired     float64
+			Elapsed      time.Duration
+			CommMessages uint64
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(result{
+			Rates: sum.Rates, Hist: sum.Hist.Counts,
+			UniqueFrac: sum.Golden.UniqueFraction(), AvgFired: sum.AvgFired,
+			Elapsed: sum.Elapsed, CommMessages: sum.Golden.Comm.Messages,
+		})
+	}
+	fmt.Fprintf(out, "deployment: %s/%s procs=%d trials=%d errors=%d region=%s pattern=%s\n",
+		app.Name(), sum.Golden.Class, o.procs, o.trials, o.errors, o.region, o.pattern)
+	fmt.Fprintf(out, "result: %s\n", sum.Rates)
+	lo, hi := sum.Rates.SuccessInterval()
+	fmt.Fprintf(out, "success 95%% CI: %.1f%% - %.1f%%\n", 100*lo, 100*hi)
+	fmt.Fprintln(out, "propagation histogram (non-zero bins):")
+	probs := sum.Hist.Probabilities()
+	for x, p := range probs {
+		if p == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  %3d rank(s): %5.1f%%\n", x+1, 100*p)
+	}
+	if o.procs > 1 {
+		fmt.Fprintln(out, "contamination by ring distance from the injected rank:")
+		for d, cnt := range sum.SpreadByDistance {
+			if cnt == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "  distance %d: %d rank-hits\n", d, cnt)
+		}
+	}
+	fmt.Fprintf(out, "avg injections fired per test: %.2f\n", sum.AvgFired)
+	fmt.Fprintf(out, "elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

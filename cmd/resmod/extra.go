@@ -1,0 +1,259 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"resmod/internal/analysis"
+	"resmod/internal/apps"
+	"resmod/internal/exper"
+	"resmod/internal/faultsim"
+	"resmod/internal/fpe"
+	"resmod/internal/stats"
+)
+
+// doAblate runs the sensitivity/ablation studies behind the paper's design
+// choices: bit-position severity, instruction-kind sensitivity (paper §2),
+// injection-phase sensitivity, and fault-pattern comparison.
+func doAblate(o options, out io.Writer) error {
+	app, err := apps.Lookup(o.app)
+	if err != nil {
+		return err
+	}
+	cfg := analysis.Config{
+		App: app, Class: o.class, Procs: o.small, Trials: o.trials,
+		Seed: o.seed, Workers: o.workers,
+	}
+	fmt.Fprintf(out, "== ablation studies: %s, %d ranks, %d tests/point ==\n",
+		app.Name(), o.small, o.trials)
+
+	bits, err := analysis.BitSweep(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "bit-position sensitivity:")
+	for _, p := range bits {
+		lo, hi := p.Rates.SuccessInterval()
+		fmt.Fprintf(out, "  %-14s success=%5.1f%%  (95%% CI %.1f-%.1f%%)  sdc=%5.1f%%\n",
+			p.Band.Name, 100*p.Rates.Success, 100*lo, 100*hi, 100*p.Rates.SDC)
+	}
+
+	kinds, err := analysis.KindSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "instruction-kind sensitivity:")
+	for _, p := range kinds {
+		fmt.Fprintf(out, "  %-14s success=%5.1f%%  sdc=%5.1f%%\n",
+			p.Name, 100*p.Rates.Success, 100*p.Rates.SDC)
+	}
+
+	phases, err := analysis.PhaseSweep(cfg, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "injection-phase sensitivity:")
+	for _, p := range phases {
+		fmt.Fprintf(out, "  window %.2f-%.2f  success=%5.1f%%  sdc=%5.1f%%\n",
+			p.Window[0], p.Window[1], 100*p.Rates.Success, 100*p.Rates.SDC)
+	}
+
+	patterns, err := analysis.PatternSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "fault-pattern sensitivity:")
+	for _, p := range patterns {
+		fmt.Fprintf(out, "  %-14s success=%5.1f%%  sdc=%5.1f%%  failure=%.1f%%\n",
+			p.Pattern, 100*p.Rates.Success, 100*p.Rates.SDC, 100*p.Rates.Failure)
+	}
+
+	if o.small > 1 {
+		tols, err := analysis.TolSweep(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "contamination-threshold sensitivity:")
+		for _, p := range tols {
+			label := fmt.Sprintf("%.0e", p.Tol)
+			if p.Tol < 0 {
+				label = "bit-exact"
+			}
+			fmt.Fprintf(out, "  tol %-10s mean contaminated=%.2f  all-ranks fraction=%.1f%%\n",
+				label, p.MeanContaminated, 100*p.FullFraction)
+		}
+	}
+	return nil
+}
+
+// doTrace runs single fault injection tests verbosely, printing where each
+// error landed at the application level (the capability the paper gets
+// from its enhanced F-SEFI) and which ranks it contaminated.
+func doTrace(o options, out io.Writer) error {
+	app, err := apps.Lookup(o.app)
+	if err != nil {
+		return err
+	}
+	class := o.class
+	if class == "" {
+		class = app.DefaultClass()
+	}
+	golden, err := faultsim.ComputeGolden(app, class, o.small, apps.DefaultTimeout)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== trace: %s/%s on %d ranks, %d injected tests ==\n",
+		app.Name(), class, o.small, o.trials)
+	fmt.Fprintf(out, "golden: %d FP ops (%.2f%% parallel-unique), check=%v\n\n",
+		golden.TotalCounts().Total(), 100*golden.UniqueFraction(), golden.Check)
+
+	rng := stats.NewRNG(o.seed)
+	for t := 0; t < o.trials; t++ {
+		trng := rng.Split(uint64(t))
+		target := trng.Intn(o.small)
+		plan, err := fpe.DrawAnyRegionWith(trng, golden.KindCounts[target], fpe.DrawOpts{})
+		if err != nil {
+			return err
+		}
+		res := apps.Execute(app, class, o.small, map[int][]fpe.Injection{target: plan},
+			apps.DefaultTimeout)
+		fmt.Fprintf(out, "test %d: rank %d, %s op #%d, bit %d\n",
+			t, target, plan[0].Class, plan[0].Index, plan[0].Bit)
+		if res.Err != nil {
+			fmt.Fprintf(out, "  outcome: FAILURE (%v)\n\n", res.Err)
+			continue
+		}
+		for _, rec := range res.Ctxs[target].Records() {
+			region := rec.Region
+			if region == "" {
+				region = "main-loop"
+			}
+			fmt.Fprintf(out, "  fired in %s (%s): %v -> %v\n",
+				region, rec.Op, rec.Before, rec.After)
+		}
+		var contaminated []int
+		for r := 0; r < o.small; r++ {
+			if !bitEqualStates(res.Outputs[r].State, golden.States[r]) {
+				contaminated = append(contaminated, r)
+			}
+		}
+		outcome := "SUCCESS"
+		if !app.Verify(golden.Check, res.Outputs[0].Check) {
+			outcome = "SDC"
+		}
+		fmt.Fprintf(out, "  outcome: %s, contaminated ranks: %v, check=%v\n\n",
+			outcome, contaminated, res.Outputs[0].Check)
+	}
+	return nil
+}
+
+func bitEqualStates(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// doBaselines compares the model against the naive serial-only and
+// small-only predictors.
+func doBaselines(s *exper.Session, out io.Writer, names []string, o options) error {
+	rows, err := exper.Baselines(s, names, o.small, o.large)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "== model vs naive baselines ==")
+	exper.RenderBaselines(out, rows)
+	return nil
+}
+
+// doModelAblate disables model ingredients one at a time.
+func doModelAblate(s *exper.Session, out io.Writer, o options) error {
+	ab, err := exper.AblateModel(s, o.app, o.class, o.small, o.large)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== model ablation: %s, predict %d from serial+%d ==\n",
+		ab.Bench, o.large, o.small)
+	fmt.Fprintf(out, "measured:            %5.1f%%\n", 100*ab.Measured)
+	fmt.Fprintf(out, "full model:          %5.1f%% (tuning active: %v)\n", 100*ab.Full, ab.Tuned)
+	fmt.Fprintf(out, "without alpha tune:  %5.1f%%\n", 100*ab.NoTuning)
+	fmt.Fprintf(out, "without unique term: %5.1f%%\n", 100*ab.NoUnique)
+	return nil
+}
+
+// doStability checks the paper's statistical protocol: the success rate
+// must stabilize well before the full trial budget (the paper observes
+// stability after the first 1000 of 4000 tests).
+func doStability(s *exper.Session, o options, out io.Writer) error {
+	app, err := apps.Lookup(o.app)
+	if err != nil {
+		return err
+	}
+	class := o.class
+	if class == "" {
+		class = app.DefaultClass()
+	}
+	golden, err := faultsim.ComputeGolden(app, class, o.small, apps.DefaultTimeout)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== stability: %s/%s on %d ranks ==\n", app.Name(), class, o.small)
+	fmt.Fprintf(out, "%-8s %-10s %s\n", "trials", "success", "95% CI")
+	var prev float64
+	for _, n := range []int{o.trials / 8, o.trials / 4, o.trials / 2, o.trials} {
+		if n < 1 {
+			continue
+		}
+		sum, err := faultsim.RunAgainst(faultsim.Campaign{
+			App: app, Class: class, Procs: o.small, Trials: n, Seed: o.seed,
+			Workers: o.workers,
+		}, golden)
+		if err != nil {
+			return err
+		}
+		lo, hi := sum.Rates.SuccessInterval()
+		fmt.Fprintf(out, "%-8d %-10.1f %.1f%% - %.1f%%   (delta %.1f%%)\n",
+			n, 100*sum.Rates.Success, 100*lo, 100*hi, 100*(sum.Rates.Success-prev))
+		prev = sum.Rates.Success
+	}
+	return nil
+}
+
+// doScaleSweep predicts a ladder of target scales from one small scale.
+func doScaleSweep(s *exper.Session, out io.Writer, o options) error {
+	var larges []int
+	for l := o.small * 2; l <= o.large; l *= 2 {
+		larges = append(larges, l)
+	}
+	rows, err := exper.ScaleSweep(s, o.app, o.class, o.small, larges)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "== extrapolation-depth sweep ==")
+	exper.RenderScaleSweep(out, rows)
+	return nil
+}
+
+// doAdvise prints protection-placement advice for one benchmark.
+func doAdvise(o options, out io.Writer) error {
+	app, err := apps.Lookup(o.app)
+	if err != nil {
+		return err
+	}
+	adv, err := analysis.Advise(analysis.Config{
+		App: app, Class: o.class, Procs: o.small, Trials: o.trials,
+		Seed: o.seed, Workers: o.workers,
+	}, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== protection advice: %s, %d ranks ==\n", app.Name(), o.small)
+	adv.Render(out)
+	return nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runCmd executes the CLI entry point with tiny workloads.
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errw bytes.Buffer
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, errw.String())
+	}
+	return out.String()
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"nope"}, &out, &errw); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run(nil, &out, &errw); err == nil {
+		t.Fatal("missing command accepted")
+	}
+}
+
+func TestAppsCommand(t *testing.T) {
+	got := runCmd(t, "apps")
+	for _, want := range []string{"CG", "FT", "MG", "LU", "MiniFE", "PENNANT"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("apps output missing %s:\n%s", want, got)
+		}
+	}
+}
+
+func TestOverheadCommand(t *testing.T) {
+	got := runCmd(t, "overhead", "-quiet")
+	if !strings.Contains(got, "serial ops") || !strings.Contains(got, "4-rank ops") {
+		t.Fatalf("overhead output:\n%s", got)
+	}
+}
+
+func TestTable1Command(t *testing.T) {
+	got := runCmd(t, "table1", "-quiet")
+	if !strings.Contains(got, "FT (S)") || !strings.Contains(got, "No parallel-unique comp") {
+		t.Fatalf("table1 output:\n%s", got)
+	}
+}
+
+func TestPredictCommandSmall(t *testing.T) {
+	got := runCmd(t, "predict", "-quiet", "-trials", "8",
+		"-app", "PENNANT", "-small", "2", "-large", "4")
+	if !strings.Contains(got, "average error") {
+		t.Fatalf("predict output:\n%s", got)
+	}
+}
+
+func TestTraceCommand(t *testing.T) {
+	got := runCmd(t, "trace", "-quiet", "-trials", "1", "-app", "PENNANT", "-small", "2")
+	if !strings.Contains(got, "outcome:") || !strings.Contains(got, "golden:") {
+		t.Fatalf("trace output:\n%s", got)
+	}
+}
+
+func TestStabilityCommand(t *testing.T) {
+	got := runCmd(t, "stability", "-quiet", "-trials", "16", "-app", "PENNANT", "-small", "1")
+	if !strings.Contains(got, "95% CI") {
+		t.Fatalf("stability output:\n%s", got)
+	}
+}
+
+func TestSplitApps(t *testing.T) {
+	got := splitApps(" CG , FT ,,LU ")
+	want := []string{"CG", "FT", "LU"}
+	if len(got) != len(want) {
+		t.Fatalf("splitApps = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitApps = %v", got)
+		}
+	}
+	if splitApps("") != nil {
+		t.Fatal("empty split not nil")
+	}
+}
+
+func TestTable1JSON(t *testing.T) {
+	got := runCmd(t, "table1", "-quiet", "-json")
+	if !strings.Contains(got, `"Bench": "CG"`) || !strings.Contains(got, `"UniqueFraction"`) {
+		t.Fatalf("json output:\n%s", got)
+	}
+}
+
+func TestCampaignCommand(t *testing.T) {
+	got := runCmd(t, "campaign", "-app", "PENNANT", "-procs", "2", "-trials", "10",
+		"-pattern", "double", "-kinds", "mul", "-window-lo", "0.2", "-window-hi", "0.8")
+	if !strings.Contains(got, "propagation histogram") || !strings.Contains(got, "95% CI") {
+		t.Fatalf("campaign output:\n%s", got)
+	}
+}
+
+func TestCampaignCommandJSON(t *testing.T) {
+	got := runCmd(t, "campaign", "-app", "PENNANT", "-procs", "1", "-trials", "5", "-json")
+	if !strings.Contains(got, `"Hist"`) || !strings.Contains(got, `"AvgFired"`) {
+		t.Fatalf("campaign json:\n%s", got)
+	}
+}
+
+func TestCampaignCommandValidation(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"campaign", "-region", "bogus"}, &out, &errw); err == nil {
+		t.Fatal("bogus region accepted")
+	}
+	if err := run([]string{"campaign", "-pattern", "bogus"}, &out, &errw); err == nil {
+		t.Fatal("bogus pattern accepted")
+	}
+	if err := run([]string{"campaign", "-kinds", "bogus"}, &out, &errw); err == nil {
+		t.Fatal("bogus kinds accepted")
+	}
+}

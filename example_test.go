@@ -1,0 +1,63 @@
+package resmod_test
+
+import (
+	"fmt"
+	"log"
+
+	"resmod"
+)
+
+// ExampleRunCampaign runs a small deterministic fault injection deployment
+// and prints its outcome counts.
+func ExampleRunCampaign() {
+	app, err := resmod.LookupApp("PENNANT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := resmod.RunCampaign(resmod.Campaign{
+		App: app, Procs: 2, Trials: 25, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tests:", sum.Rates.N)
+	fmt.Println("all outcomes accounted:",
+		sum.Counts.Success+sum.Counts.SDC+sum.Counts.Failure == 25)
+	// Output:
+	// tests: 25
+	// all outcomes accounted: true
+}
+
+// ExamplePredict evaluates the paper's model on hand-built inputs (the
+// worked example of the paper's Eq. 8 with p=64, S=4).
+func ExamplePredict() {
+	xs, _ := resmod.SampleXs(64, 4)
+	fmt.Println("serial sampling points:", xs)
+
+	rates := []resmod.Rates{
+		{Success: 0.9, SDC: 0.1, N: 1000},
+		{Success: 0.6, SDC: 0.4, N: 1000},
+		{Success: 0.5, SDC: 0.5, N: 1000},
+		{Success: 0.4, SDC: 0.6, N: 1000},
+	}
+	curve, _ := resmod.NewSerialCurve(64, xs, rates)
+	pred, _ := resmod.Predict(resmod.ModelInputs{
+		P:                64,
+		Serial:           curve,
+		SmallProfile:     []float64{0.7, 0.1, 0.1, 0.1},
+		SmallConditional: map[int]resmod.Rates{},
+	})
+	fmt.Printf("predicted success: %.0f%%\n", 100*pred.Rates.Success)
+	// Output:
+	// serial sampling points: [1 32 48 64]
+	// predicted success: 78%
+}
+
+// ExampleFlipBit shows the fault model's primitive.
+func ExampleFlipBit() {
+	fmt.Println(resmod.FlipBit(1.0, 63)) // sign bit
+	fmt.Println(resmod.FlipBit(1.0, 51)) // top mantissa bit
+	// Output:
+	// -1
+	// 1.5
+}

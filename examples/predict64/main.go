@@ -1,0 +1,43 @@
+// predict64 demonstrates the paper's headline workflow (Figures 5–6):
+// predict the fault injection result of a 64-rank execution from fault
+// injection in serial and small-scale executions only, then compare
+// against the measured 64-rank deployment.
+//
+//	go run ./examples/predict64 [-app CG] [-small 8] [-trials 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"resmod"
+)
+
+func main() {
+	appName := flag.String("app", "CG", "benchmark: CG, FT, MG, LU, MiniFE, PENNANT")
+	small := flag.Int("small", 8, "small-scale rank count (must divide 64)")
+	trials := flag.Int("trials", 200, "fault injection tests per deployment")
+	seed := flag.Uint64("seed", 7, "campaign seed")
+	flag.Parse()
+
+	session := resmod.NewSession(resmod.SessionConfig{
+		Trials: *trials,
+		Seed:   *seed,
+		Log:    os.Stderr, // watch the deployments as they run
+	})
+
+	row, err := resmod.PredictScale(session, *appName, "", *small, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%s: predicting 64 ranks from serial + %d ranks\n", *appName, *small)
+	fmt.Printf("  measured  success rate: %.1f%%\n", 100*row.Measured.Success)
+	fmt.Printf("  predicted success rate: %.1f%%\n", 100*row.Predicted.Success)
+	fmt.Printf("  prediction error:       %.1f%%\n", 100*row.Error)
+	fmt.Printf("  alpha fine-tuning used: %v\n", row.Tuned)
+	fmt.Printf("  small-scale deployment time: %v (vs %v serial)\n",
+		row.SmallTime.Round(1e6), row.SerialTime.Round(1e6))
+}

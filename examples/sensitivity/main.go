@@ -1,0 +1,54 @@
+// sensitivity reproduces the tradeoff of the paper's Figure 8 at laptop
+// scale: growing the small-scale execution improves prediction accuracy
+// but costs more fault injection time.
+//
+//	go run ./examples/sensitivity [-trials 150] [-large 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"resmod"
+)
+
+func main() {
+	trials := flag.Int("trials", 150, "fault injection tests per deployment")
+	large := flag.Int("large", 32, "prediction target scale")
+	seed := flag.Uint64("seed", 11, "campaign seed")
+	flag.Parse()
+
+	session := resmod.NewSession(resmod.SessionConfig{
+		Trials: *trials, Seed: *seed, Log: os.Stderr,
+	})
+
+	benchmarks := []string{"CG", "LU", "PENNANT"}
+	fmt.Printf("predicting %d ranks; benchmarks: %v\n\n", *large, benchmarks)
+	fmt.Printf("%-8s %-12s %-12s %s\n", "small", "avg error", "max error", "avg small-scale time")
+
+	for _, small := range []int{2, 4, 8, 16} {
+		if *large%small != 0 {
+			continue
+		}
+		var sumErr, maxErr float64
+		var sumTime int64
+		for _, b := range benchmarks {
+			row, err := resmod.PredictScale(session, b, "", small, *large)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sumErr += row.Error
+			if row.Error > maxErr {
+				maxErr = row.Error
+			}
+			sumTime += int64(row.SmallTime)
+		}
+		n := float64(len(benchmarks))
+		fmt.Printf("%-8d %-12.1f %-12.1f %v\n",
+			small, 100*sumErr/n, 100*maxErr,
+			(time.Duration(sumTime) / time.Duration(len(benchmarks))).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,3 @@
+module resmod
+
+go 1.22

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"resmod/internal/faultsim"
+	"resmod/internal/stats"
+)
+
+// TolPoint is one contamination-tolerance setting's propagation summary.
+type TolPoint struct {
+	// Tol is the contamination tolerance (negative = bit-exact).
+	Tol float64
+	// Rates is the overall fault injection result (independent of Tol by
+	// construction — included as a sanity anchor).
+	Rates stats.Rates
+	// MeanContaminated is the average number of contaminated ranks per
+	// completed test.
+	MeanContaminated float64
+	// FullFraction is the fraction of completed tests contaminating every
+	// rank.
+	FullFraction float64
+}
+
+// TolSweep measures how the error-propagation profile depends on the
+// contamination significance threshold — the calibration knob that aligns
+// resmod's deterministic substrate with the paper's real-MPI testbed,
+// where reduction-order noise makes only above-noise divergence observable
+// (DESIGN.md §4).  Bit-exact comparison counts every ULP of dilution as
+// contamination and badly overstates how often "all ranks" are meaningfully
+// corrupted; the checker-scale default restores the paper's Observation 4.
+func TolSweep(cfg Config, tols []float64) ([]TolPoint, error) {
+	if len(tols) == 0 {
+		tols = []float64{-1, 1e-13, 1e-10, 1e-7}
+	}
+	golden, err := cfg.golden()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TolPoint, 0, len(tols))
+	for _, tol := range tols {
+		c := cfg.campaign()
+		c.ContaminationTol = tol
+		sum, err := faultsim.RunAgainst(c, golden)
+		if err != nil {
+			return nil, err
+		}
+		pt := TolPoint{Tol: tol, Rates: sum.Rates}
+		total := sum.Hist.Total()
+		if total > 0 {
+			var mean float64
+			for x, cnt := range sum.Hist.Counts {
+				mean += float64(x+1) * float64(cnt)
+			}
+			pt.MeanContaminated = mean / float64(total)
+			pt.FullFraction = float64(sum.Hist.Counts[cfg.Procs-1]) / float64(total)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+// Package apps defines the benchmark application interface of resmod and
+// shared numerical helpers.  The six applications the paper evaluates —
+// NPB CG, FT, MG and LU, plus the MiniFE and PENNANT proxy apps — live in
+// subpackages and register themselves here.
+//
+// Every application obeys the paper's assumptions on "common HPC
+// applications" (§2): serial and parallel executions of a given problem
+// class run the same numerical algorithm on the same input (strong
+// scaling), and all ranks perform the same computation.  Applications
+// route every floating-point operation through the per-rank *fpe.Ctx so
+// the harness can inject single-bit faults, and annotate parallel-unique
+// computation (paper Observation 1) with fpe regions.
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"resmod/internal/fpe"
+	"resmod/internal/simmpi"
+)
+
+// RankOutput is what one rank produces at the end of a run.
+type RankOutput struct {
+	// State is the rank's final local state vector.  The harness compares
+	// it bit-for-bit against the golden run's to decide whether this rank
+	// was contaminated (paper §3.2).
+	State []float64
+	// Check holds the application's verification values (residual norms,
+	// checksums, ...).  Only rank 0's Check is meaningful; it feeds the
+	// application "checker" that separates Success from SDC (paper §2).
+	Check []float64
+}
+
+// App is one benchmark application.
+type App interface {
+	// Name returns the benchmark's short name ("CG", "FT", ...).
+	Name() string
+	// Classes returns the supported problem classes, smallest first.
+	Classes() []string
+	// DefaultClass returns the class used when none is specified.
+	DefaultClass() string
+	// MaxProcs returns the largest rank count the class's decomposition
+	// supports.  Valid rank counts are the powers of two up to it.
+	MaxProcs(class string) int
+	// Run executes the rank's share of the computation.  comm.Size()==1 is
+	// the serial execution.  All floating point math must flow through fc.
+	Run(fc *fpe.Ctx, comm *simmpi.Comm, class string) (RankOutput, error)
+	// Verify implements the application checker: it reports whether the
+	// verification values of a (possibly faulty) run are acceptable
+	// relative to the fault-free golden values.
+	Verify(golden, check []float64) bool
+}
+
+// ErrBadProcs reports an unsupported rank count for a class.
+type ErrBadProcs struct {
+	App    string
+	Class  string
+	Procs  int
+	Max    int
+	Reason string
+}
+
+func (e *ErrBadProcs) Error() string {
+	return fmt.Sprintf("apps: %s class %s cannot run on %d ranks (max %d): %s",
+		e.App, e.Class, e.Procs, e.Max, e.Reason)
+}
+
+// CheckProcs validates that procs is a power of two between 1 and
+// app.MaxProcs(class).
+func CheckProcs(app App, class string, procs int) error {
+	max := app.MaxProcs(class)
+	if procs < 1 || procs > max {
+		return &ErrBadProcs{App: app.Name(), Class: class, Procs: procs, Max: max,
+			Reason: "out of range"}
+	}
+	if procs&(procs-1) != 0 {
+		return &ErrBadProcs{App: app.Name(), Class: class, Procs: procs, Max: max,
+			Reason: "not a power of two"}
+	}
+	return nil
+}
+
+// Block1D returns the [lo, hi) row range of rank r in an equal 1-D block
+// decomposition of n items over p ranks.  It panics if n is not divisible
+// by p — applications size their grids so every supported rank count
+// divides them (strong scaling with identical per-rank computation).
+func Block1D(n, p, r int) (lo, hi int) {
+	if p <= 0 || n%p != 0 {
+		panic(fmt.Sprintf("apps: Block1D: n=%d not divisible by p=%d", n, p))
+	}
+	sz := n / p
+	return r * sz, (r + 1) * sz
+}
+
+// RelErr returns |got-want| / max(|want|, floor): a relative error that
+// degrades gracefully to absolute near zero.
+func RelErr(want, got, floor float64) float64 {
+	d := math.Abs(got - want)
+	m := math.Abs(want)
+	if m < floor {
+		m = floor
+	}
+	return d / m
+}
+
+// AllFinite reports whether every value is neither NaN nor Inf.
+func AllFinite(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyRel is the common checker shape: every check value must be finite
+// and within relative tolerance tol of the golden value.
+func VerifyRel(golden, check []float64, tol float64) bool {
+	if len(golden) != len(check) {
+		return false
+	}
+	if !AllFinite(check) {
+		return false
+	}
+	for i := range golden {
+		if RelErr(golden[i], check[i], 1e-30) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// HaloExchange1D exchanges boundary planes with the ring neighbours in a
+// 1-D decomposition: sendLo goes to rank-1, sendHi to rank+1; the returned
+// slices are the planes received from rank-1 (ghostLo) and rank+1
+// (ghostHi).  At the domain ends the corresponding ghost is nil.
+// Tags must be below the collective tag space.
+func HaloExchange1D(comm *simmpi.Comm, tag int, sendLo, sendHi []float64) (ghostLo, ghostHi []float64) {
+	r, p := comm.Rank(), comm.Size()
+	if p == 1 {
+		return nil, nil
+	}
+	// Send both directions first (buffered), then receive: deadlock-free.
+	if r > 0 {
+		comm.Send(r-1, tag, sendLo)
+	}
+	if r < p-1 {
+		comm.Send(r+1, tag+1, sendHi)
+	}
+	if r > 0 {
+		ghostLo = comm.Recv(r-1, tag+1)
+	}
+	if r < p-1 {
+		ghostHi = comm.Recv(r+1, tag)
+	}
+	return ghostLo, ghostHi
+}

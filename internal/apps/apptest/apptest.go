@@ -1,0 +1,163 @@
+// Package apptest provides a shared conformance suite that every resmod
+// benchmark application must pass.  It verifies the properties the paper's
+// model assumes (§2): identical numerical algorithm across scales,
+// deterministic execution, correct region accounting, and sane behaviour
+// under injection.
+package apptest
+
+import (
+	"math"
+	"testing"
+
+	"resmod/internal/apps"
+	"resmod/internal/fpe"
+)
+
+// Options tunes the conformance suite for one application.
+type Options struct {
+	// Class is the problem class to test (empty = default class).
+	Class string
+	// Procs are the parallel sizes to exercise (must not include 1).
+	Procs []int
+	// WantUnique states whether the app has parallel-unique computation in
+	// parallel mode.
+	WantUnique bool
+	// MaxUniqueFraction bounds the parallel-unique fraction when present.
+	MaxUniqueFraction float64
+}
+
+// Conformance runs the suite.
+func Conformance(t *testing.T, app apps.App, opt Options) {
+	t.Helper()
+	class := opt.Class
+	if class == "" {
+		class = app.DefaultClass()
+	}
+
+	// --- Serial execution -------------------------------------------------
+	serial := apps.Execute(app, class, 1, nil, apps.DefaultTimeout)
+	if serial.Err != nil {
+		t.Fatalf("serial run failed: %v", serial.Err)
+	}
+	serialCheck := serial.Outputs[0].Check
+	if len(serialCheck) == 0 {
+		t.Fatal("serial run produced no check values")
+	}
+	if !apps.AllFinite(serialCheck) {
+		t.Fatalf("serial check not finite: %v", serialCheck)
+	}
+	if !app.Verify(serialCheck, serialCheck) {
+		t.Fatal("checker rejects the golden values themselves")
+	}
+	if len(serial.Outputs[0].State) == 0 {
+		t.Fatal("serial run produced no state")
+	}
+	if c := serial.Ctxs[0].Counts(); c.Unique != 0 {
+		t.Fatalf("serial execution has %d parallel-unique ops; want 0", c.Unique)
+	} else if c.Common == 0 {
+		t.Fatal("serial execution performed no instrumented ops")
+	}
+
+	// Serial determinism.
+	serial2 := apps.Execute(app, class, 1, nil, apps.DefaultTimeout)
+	if serial2.Err != nil {
+		t.Fatalf("second serial run failed: %v", serial2.Err)
+	}
+	if !bitEqual(serial.Outputs[0].State, serial2.Outputs[0].State) {
+		t.Fatal("serial execution is not deterministic")
+	}
+	if serial.Ctxs[0].Counts() != serial2.Ctxs[0].Counts() {
+		t.Fatal("serial op counts are not deterministic")
+	}
+
+	// --- Parallel executions ----------------------------------------------
+	for _, p := range opt.Procs {
+		par := apps.Execute(app, class, p, nil, apps.DefaultTimeout)
+		if par.Err != nil {
+			t.Fatalf("p=%d run failed: %v", p, par.Err)
+		}
+		check := par.Outputs[0].Check
+		// Cross-scale algorithm agreement: the parallel result must pass
+		// the checker against the serial golden values (Observation 1: the
+		// executions use the same numerical algorithm).
+		if !app.Verify(serialCheck, check) {
+			t.Fatalf("p=%d check %v fails checker against serial golden %v", p, check, serialCheck)
+		}
+
+		// Parallel determinism: bit-identical states and counts across runs.
+		par2 := apps.Execute(app, class, p, nil, apps.DefaultTimeout)
+		if par2.Err != nil {
+			t.Fatalf("p=%d second run failed: %v", p, par2.Err)
+		}
+		for r := 0; r < p; r++ {
+			if !bitEqual(par.Outputs[r].State, par2.Outputs[r].State) {
+				t.Fatalf("p=%d rank %d state not deterministic", p, r)
+			}
+			if par.Ctxs[r].Counts() != par2.Ctxs[r].Counts() {
+				t.Fatalf("p=%d rank %d op counts not deterministic", p, r)
+			}
+		}
+
+		// Region accounting.
+		var total fpe.Counts
+		for r := 0; r < p; r++ {
+			c := par.Ctxs[r].Counts()
+			total.Common += c.Common
+			total.Unique += c.Unique
+			if c.Common == 0 {
+				t.Fatalf("p=%d rank %d performed no common ops", p, r)
+			}
+		}
+		if opt.WantUnique {
+			if total.Unique == 0 {
+				t.Fatalf("p=%d: expected parallel-unique computation, found none", p)
+			}
+			if f := total.UniqueFraction(); f > opt.MaxUniqueFraction {
+				t.Fatalf("p=%d: unique fraction %.3f exceeds bound %.3f",
+					p, f, opt.MaxUniqueFraction)
+			}
+		} else if total.Unique != 0 {
+			t.Fatalf("p=%d: app declared no parallel-unique computation but has %d unique ops",
+				p, total.Unique)
+		}
+
+		// Assumption 2: ranks do comparable work (within 2x of each other).
+		minOps, maxOps := total.Total(), uint64(0)
+		for r := 0; r < p; r++ {
+			ops := par.Ctxs[r].Counts().Total()
+			if ops < minOps {
+				minOps = ops
+			}
+			if ops > maxOps {
+				maxOps = ops
+			}
+		}
+		if maxOps > 2*minOps {
+			t.Fatalf("p=%d: rank work imbalance: min=%d max=%d ops", p, minOps, maxOps)
+		}
+	}
+
+	// --- Injection smoke test ----------------------------------------------
+	// A sign flip in the middle of rank 0's common stream must either
+	// complete (possibly with corrupt output) or fail through the harness's
+	// error paths — never wedge the suite.
+	mid := serial.Ctxs[0].Counts().Common / 2
+	inj := apps.Execute(app, class, 1, map[int][]fpe.Injection{
+		0: {{Class: fpe.Common, Index: mid, Bit: 63, Operand: 0}},
+	}, apps.DefaultTimeout)
+	if inj.Err == nil && inj.Ctxs[0].Fired() != 1 {
+		t.Fatalf("planned injection did not fire (fired=%d)", inj.Ctxs[0].Fired())
+	}
+}
+
+func bitEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+// Package ep implements the NPB EP benchmark: generating pairs of
+// Gaussian deviates by the Marsaglia polar method from NPB's linear
+// congruential sequence (a = 5^13, modulus 2^46) and tallying them into
+// square annuli, with a single allreduce at the very end (NAS Parallel
+// Benchmarks 3.3, kernel EP).
+//
+// EP is resmod's extension benchmark beyond the paper's six applications:
+// it is *embarrassingly parallel* — ranks never communicate until the
+// terminal reduction — so an injected error can contaminate only the rank
+// it strikes.  Its propagation histogram is a single spike at one rank at
+// every scale, the degenerate case of the paper's Observation 3, and a
+// useful calibration point for the model (r'_1 = 1, so the prediction
+// reduces to the serial single-error result).
+package ep
+
+import (
+	"math"
+
+	"resmod/internal/apps"
+	"resmod/internal/fpe"
+	"resmod/internal/simmpi"
+)
+
+// params describes one problem class.
+type params struct {
+	pairs int    // number of random pairs (NPB: 2^M)
+	seed  uint64 // LCG seed (NPB: 271828183)
+}
+
+var classes = map[string]params{
+	"S": {pairs: 1 << 14, seed: 271828183},
+}
+
+// NPB's multiplicative congruential generator: x_{k+1} = a*x_k mod 2^46.
+const (
+	lcgA   uint64 = 1220703125 // 5^13
+	lcgMod uint64 = 1 << 46
+	lcgMsk uint64 = lcgMod - 1
+)
+
+// App is the EP benchmark.
+type App struct{}
+
+func init() { apps.Register(App{}) }
+
+// Name returns "EP".
+func (App) Name() string { return "EP" }
+
+// Classes returns the supported problem classes.
+func (App) Classes() []string { return []string{"S"} }
+
+// DefaultClass returns "S".
+func (App) DefaultClass() string { return "S" }
+
+// MaxProcs returns the largest supported rank count.
+func (App) MaxProcs(class string) int { return 128 }
+
+// lcgPow returns a^e mod 2^46 by binary exponentiation — NPB EP's log-time
+// jump-ahead that lets every rank start its block of the global sequence
+// without generating its predecessors.
+func lcgPow(a uint64, e uint64) uint64 {
+	result := uint64(1)
+	base := a & lcgMsk
+	for e > 0 {
+		if e&1 == 1 {
+			result = (result * base) & lcgMsk
+		}
+		base = (base * base) & lcgMsk
+		e >>= 1
+	}
+	return result
+}
+
+// lcgAt returns the k-th element of the sequence starting from seed.
+func lcgAt(seed, k uint64) uint64 {
+	return (lcgPow(lcgA, k) * seed) & lcgMsk
+}
+
+// Run executes the benchmark on this rank.
+func (a App) Run(fc *fpe.Ctx, comm *simmpi.Comm, class string) (apps.RankOutput, error) {
+	pr, ok := classes[class]
+	if !ok {
+		return apps.RankOutput{}, &apps.ErrBadProcs{App: "EP", Class: class,
+			Procs: comm.Size(), Reason: "unknown class"}
+	}
+	if err := apps.CheckProcs(a, class, comm.Size()); err != nil {
+		return apps.RankOutput{}, err
+	}
+	lo, hi := apps.Block1D(pr.pairs, comm.Size(), comm.Rank())
+
+	// Jump the generator to this rank's block (setup, uninstrumented —
+	// integer arithmetic, like NPB's vranlc bookkeeping).
+	x := lcgAt(pr.seed, uint64(2*lo))
+	next := func() float64 {
+		x = (x * lcgA) & lcgMsk
+		return float64(x) / float64(lcgMod)
+	}
+
+	var sx, sy float64
+	var q [10]float64
+	for k := lo; k < hi; k++ {
+		// Two uniforms in (-1, 1).
+		u1 := fc.Sub(fc.Mul(2, next()), 1)
+		u2 := fc.Sub(fc.Mul(2, next()), 1)
+		t := fc.Add(fc.Mul(u1, u1), fc.Mul(u2, u2))
+		if t > 1 || t == 0 {
+			continue // rejected pair
+		}
+		f := math.Sqrt(fc.Div(fc.Mul(-2, math.Log(t)), t))
+		gx := fc.Mul(u1, f)
+		gy := fc.Mul(u2, f)
+		sx = fc.Add(sx, gx)
+		sy = fc.Add(sy, gy)
+		l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+		if l > 9 {
+			l = 9
+		}
+		q[l] = fc.Add(q[l], 1)
+	}
+
+	// The only communication EP performs: the terminal reductions.
+	local := append([]float64{sx, sy}, q[:]...)
+	global := comm.Allreduce(simmpi.OpSum, local)
+
+	state := make([]float64, len(local))
+	copy(state, local)
+	return apps.RankOutput{State: state, Check: global}, nil
+}
+
+// Verify implements the NPB EP checker: the Gaussian sums and annulus
+// counts must match the fault-free values within tolerance.
+func (App) Verify(golden, check []float64) bool {
+	return apps.VerifyRel(golden, check, 1e-8)
+}

@@ -1,0 +1,52 @@
+package apps
+
+import (
+	"time"
+
+	"resmod/internal/fpe"
+	"resmod/internal/simmpi"
+)
+
+// ExecResult is the outcome of one full (serial or parallel) execution.
+type ExecResult struct {
+	// Outputs holds each rank's RankOutput, indexed by rank.  On failure
+	// entries may be zero-valued.
+	Outputs []RankOutput
+	// Ctxs holds each rank's floating point context (op counts, fired
+	// injection records), indexed by rank.
+	Ctxs []*fpe.Ctx
+	// Comm holds communication-volume statistics.
+	Comm simmpi.Stats
+	// Err is the execution failure, if any: a *simmpi.PanicError for an
+	// application crash, simmpi.ErrTimeout for a hang, or a *simmpi.RankError
+	// for an application-reported error.
+	Err error
+}
+
+// Execute runs app on procs ranks.  plans maps rank -> injection plan; ranks
+// without an entry run clean.  timeout bounds the execution (hang detection);
+// zero disables the watchdog.
+func Execute(app App, class string, procs int, plans map[int][]fpe.Injection, timeout time.Duration) ExecResult {
+	outputs := make([]RankOutput, procs)
+	ctxs := make([]*fpe.Ctx, procs)
+	for r := 0; r < procs; r++ {
+		if plan, ok := plans[r]; ok {
+			ctxs[r] = fpe.NewWithPlan(plan)
+		} else {
+			ctxs[r] = fpe.New()
+		}
+	}
+	st, err := simmpi.Run(simmpi.Config{Procs: procs, Timeout: timeout}, func(c *simmpi.Comm) error {
+		out, rerr := app.Run(ctxs[c.Rank()], c, class)
+		if rerr != nil {
+			return rerr
+		}
+		outputs[c.Rank()] = out
+		return nil
+	})
+	return ExecResult{Outputs: outputs, Ctxs: ctxs, Comm: st, Err: err}
+}
+
+// DefaultTimeout is the hang-detection budget used by the harness for one
+// execution when the caller does not specify one.
+const DefaultTimeout = 30 * time.Second

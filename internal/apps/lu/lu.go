@@ -1,0 +1,288 @@
+// Package lu implements the NPB LU benchmark in resmod's reduced form: a
+// symmetric successive over-relaxation (SSOR) solver applied to a strictly
+// diagonally dominant, non-symmetric 7-point convection–diffusion operator
+// on a 3-D box with homogeneous Dirichlet boundaries (NAS Parallel
+// Benchmarks 3.3, application LU, scalar analog of its five-variable
+// system).
+//
+// Parallel decomposition: planes are block-distributed along z.  The
+// forward (lower-triangular) substitution sweeps ascending z and the
+// backward (upper-triangular) sweep descending z, so each rank must wait
+// for its neighbour's boundary plane before sweeping — the classic NPB LU
+// software pipeline (wavefront).  An injected error therefore propagates
+// downstream rank-by-rank within a sweep and back upstream in the next —
+// the gradual propagation pattern that distinguishes LU from CG/FT in the
+// paper's characterization.
+//
+// LU has no parallel-unique computation (paper Table 1): boundary planes
+// are sent directly from the working arrays.
+package lu
+
+import (
+	"math"
+
+	"resmod/internal/apps"
+	"resmod/internal/fpe"
+	"resmod/internal/simmpi"
+)
+
+// params describes one problem class.
+type params struct {
+	nx, ny, nz int
+	niter      int
+	omega      float64 // relaxation factor
+	diag       float64 // operator diagonal (> 6 for strict dominance)
+	delta      float64 // convective asymmetry of the off-diagonals
+}
+
+var classes = map[string]params{
+	// The paper runs LU with NPB class W; this is its laptop-scale analog.
+	"W": {nx: 12, ny: 12, nz: 64, niter: 6, omega: 1.0, diag: 9.0, delta: 0.2},
+	// A larger class with a longer pipeline, for scaling studies.
+	"A": {nx: 16, ny: 16, nz: 128, niter: 6, omega: 1.0, diag: 9.0, delta: 0.2},
+}
+
+// App is the LU benchmark.
+type App struct{}
+
+func init() { apps.Register(App{}) }
+
+// Name returns "LU".
+func (App) Name() string { return "LU" }
+
+// Classes returns the supported problem classes.
+func (App) Classes() []string { return []string{"W", "A"} }
+
+// DefaultClass returns "W".
+func (App) DefaultClass() string { return "W" }
+
+// MaxProcs returns the largest supported rank count (one plane per rank).
+func (App) MaxProcs(class string) int {
+	p, ok := classes[class]
+	if !ok {
+		return 0
+	}
+	return p.nz
+}
+
+// coeffs are the seven stencil coefficients of the operator.
+type coeffs struct {
+	d                      float64 // diagonal
+	aW, aE, aS, aN, aB, aT float64 // west/east (x), south/north (y), bottom/top (z)
+}
+
+func makeCoeffs(pr params) coeffs {
+	return coeffs{
+		d:  pr.diag,
+		aW: -(1 + pr.delta), aE: -(1 - pr.delta),
+		aS: -(1 + pr.delta), aN: -(1 - pr.delta),
+		aB: -(1 + pr.delta), aT: -(1 - pr.delta),
+	}
+}
+
+// slab is a rank's block of planes with Dirichlet-zero virtual boundaries.
+type slab struct {
+	nx, ny, nzLoc int
+	zlo, nz       int // global plane offset and global extent
+}
+
+func (s *slab) idx(x, y, zl int) int { return (zl*s.ny+y)*s.nx + x }
+
+// get reads a(x,y,zl) treating out-of-range x/y as the zero boundary and
+// out-of-slab z through the given ghost planes (nil ghost = domain edge).
+func (s *slab) get(a []float64, x, y, zl int, ghLo, ghHi []float64) float64 {
+	if x < 0 || x >= s.nx || y < 0 || y >= s.ny {
+		return 0
+	}
+	switch {
+	case zl < 0:
+		if ghLo == nil {
+			return 0
+		}
+		return ghLo[y*s.nx+x]
+	case zl >= s.nzLoc:
+		if ghHi == nil {
+			return 0
+		}
+		return ghHi[y*s.nx+x]
+	default:
+		return a[s.idx(x, y, zl)]
+	}
+}
+
+// applyA computes w = A u over the slab (ghosts supply z neighbours).
+func applyA(fc *fpe.Ctx, s *slab, cf coeffs, u []float64, ghLo, ghHi []float64) []float64 {
+	w := make([]float64, len(u))
+	for zl := 0; zl < s.nzLoc; zl++ {
+		for y := 0; y < s.ny; y++ {
+			for x := 0; x < s.nx; x++ {
+				acc := fc.Mul(cf.d, u[s.idx(x, y, zl)])
+				acc = fc.Add(acc, fc.Mul(cf.aW, s.get(u, x-1, y, zl, ghLo, ghHi)))
+				acc = fc.Add(acc, fc.Mul(cf.aE, s.get(u, x+1, y, zl, ghLo, ghHi)))
+				acc = fc.Add(acc, fc.Mul(cf.aS, s.get(u, x, y-1, zl, ghLo, ghHi)))
+				acc = fc.Add(acc, fc.Mul(cf.aN, s.get(u, x, y+1, zl, ghLo, ghHi)))
+				acc = fc.Add(acc, fc.Mul(cf.aB, s.get(u, x, y, zl-1, ghLo, ghHi)))
+				acc = fc.Add(acc, fc.Mul(cf.aT, s.get(u, x, y, zl+1, ghLo, ghHi)))
+				w[s.idx(x, y, zl)] = acc
+			}
+		}
+	}
+	return w
+}
+
+// haloTag values; LU reuses tags freely thanks to per-source FIFO matching.
+const (
+	tagHaloLo = 100 // plane sent downward (to rank-1)
+	tagHaloHi = 101 // plane sent upward (to rank+1)
+	tagFwd    = 102 // forward-sweep pipeline plane
+	tagBwd    = 103 // backward-sweep pipeline plane
+)
+
+// exchangeHalos returns the non-periodic ghost planes of a (nil at domain
+// edges).
+func exchangeHalos(comm *simmpi.Comm, s *slab, a []float64) (ghLo, ghHi []float64) {
+	r, p := comm.Rank(), comm.Size()
+	if p == 1 {
+		return nil, nil
+	}
+	plane := func(zl int) []float64 {
+		out := make([]float64, s.nx*s.ny)
+		copy(out, a[zl*s.nx*s.ny:(zl+1)*s.nx*s.ny])
+		return out
+	}
+	if r > 0 {
+		comm.Send(r-1, tagHaloLo, plane(0))
+	}
+	if r < p-1 {
+		comm.Send(r+1, tagHaloHi, plane(s.nzLoc-1))
+	}
+	if r > 0 {
+		ghLo = comm.Recv(r-1, tagHaloHi)
+	}
+	if r < p-1 {
+		ghHi = comm.Recv(r+1, tagHaloLo)
+	}
+	return ghLo, ghHi
+}
+
+// forwardSweep solves (D + omega*L) v = r by substitution ascending x, y, z.
+// The z dependency pipelines across ranks: wait for the rank below, then
+// send the top plane to the rank above.
+func forwardSweep(fc *fpe.Ctx, comm *simmpi.Comm, s *slab, cf coeffs, omega float64, r []float64) []float64 {
+	rank, p := comm.Rank(), comm.Size()
+	var ghLo []float64
+	if rank > 0 {
+		ghLo = comm.Recv(rank-1, tagFwd)
+	}
+	v := make([]float64, len(r))
+	for zl := 0; zl < s.nzLoc; zl++ {
+		for y := 0; y < s.ny; y++ {
+			for x := 0; x < s.nx; x++ {
+				lsum := fc.Mul(cf.aW, s.get(v, x-1, y, zl, ghLo, nil))
+				lsum = fc.Add(lsum, fc.Mul(cf.aS, s.get(v, x, y-1, zl, ghLo, nil)))
+				lsum = fc.Add(lsum, fc.Mul(cf.aB, s.get(v, x, y, zl-1, ghLo, nil)))
+				num := fc.Sub(r[s.idx(x, y, zl)], fc.Mul(omega, lsum))
+				v[s.idx(x, y, zl)] = fc.Div(num, cf.d)
+			}
+		}
+	}
+	if rank < p-1 {
+		top := make([]float64, s.nx*s.ny)
+		copy(top, v[(s.nzLoc-1)*s.nx*s.ny:])
+		comm.Send(rank+1, tagFwd, top)
+	}
+	return v
+}
+
+// backwardSweep solves (D + omega*U) w = D v by substitution descending
+// x, y, z, pipelining downward across ranks.
+func backwardSweep(fc *fpe.Ctx, comm *simmpi.Comm, s *slab, cf coeffs, omega float64, v []float64) []float64 {
+	rank, p := comm.Rank(), comm.Size()
+	var ghHi []float64
+	if rank < p-1 {
+		ghHi = comm.Recv(rank+1, tagBwd)
+	}
+	w := make([]float64, len(v))
+	for zl := s.nzLoc - 1; zl >= 0; zl-- {
+		for y := s.ny - 1; y >= 0; y-- {
+			for x := s.nx - 1; x >= 0; x-- {
+				usum := fc.Mul(cf.aE, s.get(w, x+1, y, zl, nil, ghHi))
+				usum = fc.Add(usum, fc.Mul(cf.aN, s.get(w, x, y+1, zl, nil, ghHi)))
+				usum = fc.Add(usum, fc.Mul(cf.aT, s.get(w, x, y, zl+1, nil, ghHi)))
+				num := fc.Sub(fc.Mul(cf.d, v[s.idx(x, y, zl)]), fc.Mul(omega, usum))
+				w[s.idx(x, y, zl)] = fc.Div(num, cf.d)
+			}
+		}
+	}
+	if rank > 0 {
+		bottom := make([]float64, s.nx*s.ny)
+		copy(bottom, w[:s.nx*s.ny])
+		comm.Send(rank-1, tagBwd, bottom)
+	}
+	return w
+}
+
+// rhsAt returns the manufactured right-hand side at a global grid point —
+// a smooth separable field, identical at every scale (setup,
+// uninstrumented).
+func rhsAt(pr params, x, y, z int) float64 {
+	fx := math.Sin(math.Pi * float64(x+1) / float64(pr.nx+1))
+	fy := math.Sin(2 * math.Pi * float64(y+1) / float64(pr.ny+1))
+	fz := math.Cos(math.Pi * float64(z+1) / float64(pr.nz+1))
+	return fx*fy + fz*0.5
+}
+
+// Run executes the benchmark on this rank.
+func (a App) Run(fc *fpe.Ctx, comm *simmpi.Comm, class string) (apps.RankOutput, error) {
+	pr, ok := classes[class]
+	if !ok {
+		return apps.RankOutput{}, &apps.ErrBadProcs{App: "LU", Class: class, Procs: comm.Size(),
+			Reason: "unknown class"}
+	}
+	if err := apps.CheckProcs(a, class, comm.Size()); err != nil {
+		return apps.RankOutput{}, err
+	}
+	zlo, zhi := apps.Block1D(pr.nz, comm.Size(), comm.Rank())
+	s := &slab{nx: pr.nx, ny: pr.ny, nzLoc: zhi - zlo, zlo: zlo, nz: pr.nz}
+	cf := makeCoeffs(pr)
+
+	n := s.nx * s.ny * s.nzLoc
+	rhs := make([]float64, n)
+	for zl := 0; zl < s.nzLoc; zl++ {
+		for y := 0; y < s.ny; y++ {
+			for x := 0; x < s.nx; x++ {
+				rhs[s.idx(x, y, zl)] = rhsAt(pr, x, y, zlo+zl)
+			}
+		}
+	}
+	u := make([]float64, n)
+
+	n3 := float64(pr.nx) * float64(pr.ny) * float64(pr.nz)
+	var rnorm float64
+	for it := 0; it < pr.niter; it++ {
+		ghLo, ghHi := exchangeHalos(comm, s, u)
+		au := applyA(fc, s, cf, u, ghLo, ghHi)
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = fc.Sub(rhs[i], au[i])
+		}
+		v := forwardSweep(fc, comm, s, cf, pr.omega, r)
+		w := backwardSweep(fc, comm, s, cf, pr.omega, v)
+		for i := range u {
+			u[i] = fc.Add(u[i], w[i])
+		}
+		rnorm = math.Sqrt(comm.AllreduceValue(simmpi.OpSum, fc.Dot(r, r)) / n3)
+	}
+	// Solution RMS norm, the second verification value.
+	unorm := math.Sqrt(comm.AllreduceValue(simmpi.OpSum, fc.Dot(u, u)) / n3)
+
+	state := make([]float64, n)
+	copy(state, u)
+	return apps.RankOutput{State: state, Check: []float64{rnorm, unorm}}, nil
+}
+
+// Verify implements the LU checker: the residual and solution norms must
+// match the fault-free values within tolerance.
+func (App) Verify(golden, check []float64) bool {
+	return apps.VerifyRel(golden, check, 1e-8)
+}

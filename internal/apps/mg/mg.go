@@ -1,0 +1,380 @@
+// Package mg implements the NPB MG benchmark: V-cycle multigrid applied to
+// the 3-D Poisson equation -lap(u) = v on a periodic grid, where v is a set
+// of balanced +1/-1 point charges, run for a fixed number of cycles with
+// the L2 residual norm as the verification value (NAS Parallel Benchmarks
+// 3.3, kernel MG).
+//
+// Parallel decomposition: planes of the grid are block-distributed along z
+// with periodic ring halo exchange at every smoothing, residual and
+// restriction step.  Grid levels coarser than the rank count are replicated:
+// each rank redundantly computes the identical coarse-grid work (a standard
+// coarse-level agglomeration strategy), entered through an allgather at the
+// cutover level.  Errors therefore propagate both locally plane-by-plane
+// through halos and globally through the coarse levels — the mixed
+// propagation profile the paper observes for MG.
+//
+// MG has no parallel-unique computation (paper Table 1): the halo planes
+// are sent directly from the working arrays with no staging arithmetic.
+package mg
+
+import (
+	"math"
+
+	"resmod/internal/apps"
+	"resmod/internal/fpe"
+	"resmod/internal/simmpi"
+)
+
+// params describes one problem class.
+type params struct {
+	nx, ny, nz int // finest grid
+	levels     int
+	niter      int // V-cycles
+	charges    int // +1 charges (same number of -1 charges)
+	seed       uint64
+	coarseIter int // smoothing sweeps on the coarsest level
+	weight     float64
+}
+
+var classes = map[string]params{
+	"S": {nx: 8, ny: 8, nz: 128, levels: 3, niter: 3, charges: 10,
+		seed: 0x36_5, coarseIter: 4, weight: 0.8},
+	// A larger class with one more grid level, for scaling studies.
+	"A": {nx: 16, ny: 16, nz: 256, levels: 4, niter: 3, charges: 20,
+		seed: 0x36_A, coarseIter: 4, weight: 0.8},
+}
+
+// App is the MG benchmark.
+type App struct{}
+
+func init() { apps.Register(App{}) }
+
+// Name returns "MG".
+func (App) Name() string { return "MG" }
+
+// Classes returns the supported problem classes.
+func (App) Classes() []string { return []string{"S", "A"} }
+
+// DefaultClass returns "S".
+func (App) DefaultClass() string { return "S" }
+
+// MaxProcs returns the largest supported rank count: each rank must own at
+// least two planes of the finest grid so that restriction stays local.
+func (App) MaxProcs(class string) int {
+	p, ok := classes[class]
+	if !ok {
+		return 0
+	}
+	return p.nz / 2
+}
+
+// level describes one grid level's geometry and distribution on this rank.
+type level struct {
+	nx, ny, nz  int
+	distributed bool
+	zlo, zhi    int // owned global planes; [0, nz) when replicated
+}
+
+// nzLoc returns the number of locally stored planes.
+func (l *level) nzLoc() int { return l.zhi - l.zlo }
+
+// plane returns a copy of local plane zl (local index).
+func (l *level) plane(a []float64, zl int) []float64 {
+	sz := l.nx * l.ny
+	out := make([]float64, sz)
+	copy(out, a[zl*sz:(zl+1)*sz])
+	return out
+}
+
+// ghosts returns the periodic ghost planes below and above this rank's
+// slab of array a, exchanging with ring neighbours when the level is
+// distributed.
+func (l *level) ghosts(comm *simmpi.Comm, tag int, a []float64) (lo, hi []float64) {
+	if !l.distributed {
+		// Replicated (or serial): wrap locally.
+		return l.plane(a, l.nz-1), l.plane(a, 0)
+	}
+	p := comm.Size()
+	r := comm.Rank()
+	down := (r - 1 + p) % p
+	up := (r + 1) % p
+	comm.Send(down, tag, l.plane(a, 0))
+	comm.Send(up, tag+1, l.plane(a, l.nzLoc()-1))
+	hi = comm.Recv(up, tag)
+	lo = comm.Recv(down, tag+1)
+	return lo, hi
+}
+
+// at reads a(x, y, zl) with periodic wrap in x and y; zl is a local plane
+// index and must be in range.
+func at(a []float64, nx, ny, x, y, zl int) float64 {
+	if x < 0 {
+		x += nx
+	} else if x >= nx {
+		x -= nx
+	}
+	if y < 0 {
+		y += ny
+	} else if y >= ny {
+		y -= ny
+	}
+	return a[(zl*ny+y)*nx+x]
+}
+
+// stencilSum returns the sum of the six face neighbours of (x, y, zl),
+// using ghost planes for z neighbours that fall outside the slab.
+func stencilSum(fc *fpe.Ctx, a []float64, nx, ny, nzLoc, x, y, zl int, ghLo, ghHi []float64) float64 {
+	s := fc.Add(at(a, nx, ny, x-1, y, zl), at(a, nx, ny, x+1, y, zl))
+	s = fc.Add(s, at(a, nx, ny, x, y-1, zl))
+	s = fc.Add(s, at(a, nx, ny, x, y+1, zl))
+	var below, above float64
+	if zl == 0 {
+		below = at(ghLo, nx, ny, x, y, 0)
+	} else {
+		below = at(a, nx, ny, x, y, zl-1)
+	}
+	if zl == nzLoc-1 {
+		above = at(ghHi, nx, ny, x, y, 0)
+	} else {
+		above = at(a, nx, ny, x, y, zl+1)
+	}
+	s = fc.Add(s, below)
+	return fc.Add(s, above)
+}
+
+// residual computes r = v - A u over the slab, where A is the 7-point
+// periodic Laplacian (Au = 6u - sum of neighbours).
+func residual(fc *fpe.Ctx, l *level, u, v, ghLo, ghHi []float64) []float64 {
+	r := make([]float64, len(u))
+	for zl := 0; zl < l.nzLoc(); zl++ {
+		for y := 0; y < l.ny; y++ {
+			for x := 0; x < l.nx; x++ {
+				i := (zl*l.ny+y)*l.nx + x
+				au := fc.Sub(fc.Mul(6, u[i]),
+					stencilSum(fc, u, l.nx, l.ny, l.nzLoc(), x, y, zl, ghLo, ghHi))
+				r[i] = fc.Sub(v[i], au)
+			}
+		}
+	}
+	return r
+}
+
+// smooth applies one weighted-Jacobi sweep: z += w/6 * (r - A z).
+func smooth(fc *fpe.Ctx, comm *simmpi.Comm, tag int, l *level, z, r []float64, w float64) {
+	ghLo, ghHi := l.ghosts(comm, tag, z)
+	upd := make([]float64, len(z))
+	w6 := w / 6
+	for zl := 0; zl < l.nzLoc(); zl++ {
+		for y := 0; y < l.ny; y++ {
+			for x := 0; x < l.nx; x++ {
+				i := (zl*l.ny+y)*l.nx + x
+				az := fc.Sub(fc.Mul(6, z[i]),
+					stencilSum(fc, z, l.nx, l.ny, l.nzLoc(), x, y, zl, ghLo, ghHi))
+				upd[i] = fc.Mul(w6, fc.Sub(r[i], az))
+			}
+		}
+	}
+	for i := range z {
+		z[i] = fc.Add(z[i], upd[i])
+	}
+}
+
+// restrictTo projects the fine residual rf onto the coarse level:
+// c = 1/2 * fine(center) + 1/12 * (six fine face neighbours).
+// When the coarse level is replicated but the fine level is distributed,
+// each rank computes its plane block and the blocks are allgathered.
+func restrictTo(fc *fpe.Ctx, comm *simmpi.Comm, tag int, fine, coarse *level, rf []float64) []float64 {
+	ghLo, _ := fine.ghosts(comm, tag, rf)
+	// Coarse planes derived from this rank's fine slab.
+	cklo, ckhi := fine.zlo/2, fine.zhi/2
+	local := make([]float64, (ckhi-cklo)*coarse.ny*coarse.nx)
+	const wC, wF = 0.5, 1.0 / 12.0
+	for ck := cklo; ck < ckhi; ck++ {
+		fz := 2*ck - fine.zlo // local fine plane of the coarse centre
+		for cy := 0; cy < coarse.ny; cy++ {
+			for cx := 0; cx < coarse.nx; cx++ {
+				fx, fy := 2*cx, 2*cy
+				center := at(rf, fine.nx, fine.ny, fx, fy, fz)
+				faces := stencilSum(fc, rf, fine.nx, fine.ny, fine.nzLoc(), fx, fy, fz, ghLo, nil)
+				i := ((ck-cklo)*coarse.ny+cy)*coarse.nx + cx
+				local[i] = fc.Add(fc.Mul(wC, center), fc.Mul(wF, faces))
+			}
+		}
+	}
+	if coarse.distributed || comm.Size() == 1 || !fine.distributed {
+		return local
+	}
+	// Cutover: fine distributed, coarse replicated -> gather everywhere.
+	return comm.Allgather(local)
+}
+
+// interpAdd adds the trilinear interpolation of the coarse correction zc
+// into the fine array zf.
+func interpAdd(fc *fpe.Ctx, comm *simmpi.Comm, tag int, coarse, fine *level, zc, zf []float64) {
+	var ghHi []float64
+	if coarse.distributed {
+		_, ghHi = coarse.ghosts(comm, tag, zc)
+	}
+	// coarseAt reads coarse plane k (global), using the ghost when k is
+	// just above the slab.
+	coarseAt := func(cx, cy, ck int) float64 {
+		if ck >= coarse.nz {
+			ck -= coarse.nz
+		}
+		if ck >= coarse.zlo && ck < coarse.zhi {
+			return at(zc, coarse.nx, coarse.ny, cx, cy, ck-coarse.zlo)
+		}
+		// Must be the plane directly above a distributed slab.
+		return at(ghHi, coarse.nx, coarse.ny, cx, cy, 0)
+	}
+	for fz := fine.zlo; fz < fine.zhi; fz++ {
+		ck := fz / 2
+		zOdd := fz%2 == 1
+		for fy := 0; fy < fine.ny; fy++ {
+			cy := fy / 2
+			yOdd := fy%2 == 1
+			for fx := 0; fx < fine.nx; fx++ {
+				cx := fx / 2
+				xOdd := fx%2 == 1
+				// Trilinear: average the 2^odd corner values.
+				var sum float64
+				terms := 0
+				for dx := 0; dx <= btoi(xOdd); dx++ {
+					for dy := 0; dy <= btoi(yOdd); dy++ {
+						for dz := 0; dz <= btoi(zOdd); dz++ {
+							sum = fc.Add(sum, coarseAt(cx+dx, cy+dy, ck+dz))
+							terms++
+						}
+					}
+				}
+				v := fc.Mul(sum, 1/float64(terms))
+				i := ((fz-fine.zlo)*fine.ny+fy)*fine.nx + fx
+				zf[i] = fc.Add(zf[i], v)
+			}
+		}
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run executes the benchmark on this rank.
+func (a App) Run(fc *fpe.Ctx, comm *simmpi.Comm, class string) (apps.RankOutput, error) {
+	pr, ok := classes[class]
+	if !ok {
+		return apps.RankOutput{}, &apps.ErrBadProcs{App: "MG", Class: class, Procs: comm.Size(),
+			Reason: "unknown class"}
+	}
+	if err := apps.CheckProcs(a, class, comm.Size()); err != nil {
+		return apps.RankOutput{}, err
+	}
+	p := comm.Size()
+
+	// Build the level geometry, finest first.
+	levels := make([]*level, pr.levels)
+	for li := 0; li < pr.levels; li++ {
+		sh := 1 << li
+		l := &level{nx: pr.nx / sh, ny: pr.ny / sh, nz: pr.nz / sh}
+		// A distributed level needs at least two planes per rank so the
+		// restriction of every owned coarse plane's fine centre is local.
+		l.distributed = p > 1 && l.nz >= 2*p
+		if l.distributed {
+			l.zlo, l.zhi = apps.Block1D(l.nz, p, comm.Rank())
+		} else {
+			l.zlo, l.zhi = 0, l.nz
+		}
+		levels[li] = l
+	}
+	fine := levels[0]
+
+	// The right-hand side: balanced point charges at hashed positions
+	// (setup, uninstrumented, identical at every scale).
+	n3 := pr.nx * pr.ny * pr.nz
+	v := make([]float64, fine.nzLoc()*fine.ny*fine.nx)
+	place := func(h uint64, val float64) {
+		g := int(h % uint64(n3))
+		z := g / (pr.nx * pr.ny)
+		if z >= fine.zlo && z < fine.zhi {
+			// Accumulate so colliding +1/-1 charges cancel and the RHS
+			// stays zero-mean (the periodic operator's compatibility
+			// condition).
+			v[g-fine.zlo*pr.nx*pr.ny] += val
+		}
+	}
+	x := pr.seed
+	for c := 0; c < pr.charges; c++ {
+		place(splitmix(&x), 1)
+		place(splitmix(&x), -1)
+	}
+
+	u := make([]float64, len(v))
+	r := make([]float64, len(v))
+	copy(r, v)
+
+	var rnorm float64
+	tag := 100
+	for it := 0; it < pr.niter; it++ {
+		z := vcycle(fc, comm, pr, levels, r, &tag)
+		for i := range u {
+			u[i] = fc.Add(u[i], z[i])
+		}
+		ghLo, ghHi := fine.ghosts(comm, tag, u)
+		tag += 2
+		r = residual(fc, fine, u, v, ghLo, ghHi)
+		local := fc.Dot(r, r)
+		rnorm = math.Sqrt(comm.AllreduceValue(simmpi.OpSum, local) / float64(n3))
+	}
+
+	state := make([]float64, len(u))
+	copy(state, u)
+	return apps.RankOutput{State: state, Check: []float64{rnorm}}, nil
+}
+
+// vcycle runs one multigrid V-cycle on residual r at the finest level and
+// returns the correction.
+func vcycle(fc *fpe.Ctx, comm *simmpi.Comm, pr params, levels []*level, r []float64, tag *int) []float64 {
+	L := len(levels)
+	rs := make([][]float64, L)
+	rs[0] = r
+	// Down: restrict residuals to the coarsest level.
+	for li := 1; li < L; li++ {
+		rs[li] = restrictTo(fc, comm, *tag, levels[li-1], levels[li], rs[li-1])
+		*tag += 2
+	}
+	// Coarsest: several smoothing sweeps from zero.
+	zs := make([][]float64, L)
+	zs[L-1] = make([]float64, len(rs[L-1]))
+	for s := 0; s < pr.coarseIter; s++ {
+		smooth(fc, comm, *tag, levels[L-1], zs[L-1], rs[L-1], pr.weight)
+		*tag += 2
+	}
+	// Up: interpolate the correction and post-smooth against this level's
+	// residual equation A z = r.
+	for li := L - 2; li >= 0; li-- {
+		l := levels[li]
+		zs[li] = make([]float64, l.nzLoc()*l.ny*l.nx)
+		interpAdd(fc, comm, *tag, levels[li+1], l, zs[li+1], zs[li])
+		*tag += 2
+		smooth(fc, comm, *tag, l, zs[li], rs[li], pr.weight)
+		*tag += 2
+	}
+	return zs[0]
+}
+
+func splitmix(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Verify implements the MG checker: the final residual norm must match the
+// fault-free value within tolerance.
+func (App) Verify(golden, check []float64) bool {
+	return apps.VerifyRel(golden, check, 1e-8)
+}

@@ -1,0 +1,60 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]App)
+)
+
+// Register adds an application to the global registry.  It panics on
+// duplicate names; registration happens from package init functions.
+func Register(a App) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[a.Name()]; dup {
+		panic(fmt.Sprintf("apps: duplicate registration of %q", a.Name()))
+	}
+	registry[a.Name()] = a
+}
+
+// Lookup returns the registered application with the given name.
+func Lookup(name string) (App, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	a, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown application %q (have %v)", name, namesLocked())
+	}
+	return a, nil
+}
+
+// Names returns the registered application names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered application, sorted by name.
+func All() []App {
+	names := Names()
+	out := make([]App, len(names))
+	for i, n := range names {
+		out[i], _ = Lookup(n)
+	}
+	return out
+}

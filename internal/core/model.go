@@ -1,0 +1,274 @@
+// Package core implements the paper's primary contribution: the empirical
+// model that predicts the fault injection result of a large-scale parallel
+// execution (p ranks) from (a) serial fault injection campaigns with
+// multiple simultaneous errors and (b) a small-scale parallel campaign
+// (S ranks) used to profile error propagation and optionally fine-tune the
+// serial results.
+//
+// Paper equations implemented here (§4.2):
+//
+//	FI_par        = prob1*FI_par_common + prob2*FI_par_unique        (Eq. 1)
+//	FI_par_common = sum_x r_x * FI_ser_x                             (Eq. 4)
+//	r_x           = r'_bucket(x)  via the sampling map                (Eq. 5)
+//	alpha_x       = FI_small_par_x / FI_ser_x  (x <= S), alpha_S above
+//	FI'_ser_x     = alpha_x * FI_ser_x   (fine-tuning, when the serial
+//	                and small-scale results differ by more than 20%)
+//
+// The worked example of Eqs. 6–8 (p=64, S=4) is covered by the tests.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"resmod/internal/stats"
+)
+
+// SampleXs returns the paper's serial sampling points for predicting scale
+// p with S samples: x_1 = 1 and x_i = i*p/S for i = 2..S (for p=64, S=4:
+// 1, 32, 48, 64).  It requires S to divide p.
+func SampleXs(p, s int) ([]int, error) {
+	if s < 1 || p < 1 || s > p || p%s != 0 {
+		return nil, fmt.Errorf("core: invalid sampling %d of %d (S must divide p)", s, p)
+	}
+	xs := make([]int, s)
+	xs[0] = 1
+	for i := 2; i <= s; i++ {
+		xs[i-1] = i * p / s
+	}
+	return xs, nil
+}
+
+// Bucket returns the 1-based sample bucket of error count x under the
+// paper's sampling map: x in ((i-1)*p/S, i*p/S] belongs to bucket i, so
+// FI_ser_x is approximated by the bucket's sample (for p=64, S=4:
+// x=1..16 -> bucket 1, x=17..32 -> bucket 2, ...).
+func Bucket(x, p, s int) int {
+	b := (x*s + p - 1) / p // ceil(x*S/p)
+	if b < 1 {
+		b = 1
+	}
+	if b > s {
+		b = s
+	}
+	return b
+}
+
+// SerialCurve holds the sampled serial fault injection results FI_ser_x:
+// Rates[i] is the result of the deployment that injected Xs[i]
+// simultaneous errors into the common computation of the serial execution.
+type SerialCurve struct {
+	P     int
+	Xs    []int
+	Rates []stats.Rates
+}
+
+// NewSerialCurve validates and builds a curve.  Xs must be the SampleXs of
+// (p, len(rates)).
+func NewSerialCurve(p int, xs []int, rates []stats.Rates) (*SerialCurve, error) {
+	if len(xs) == 0 || len(xs) != len(rates) {
+		return nil, errors.New("core: serial curve needs equal, non-empty Xs and Rates")
+	}
+	want, err := SampleXs(p, len(xs))
+	if err != nil {
+		return nil, err
+	}
+	for i := range xs {
+		if xs[i] != want[i] {
+			return nil, fmt.Errorf("core: serial sample points %v do not match paper sampling %v", xs, want)
+		}
+	}
+	return &SerialCurve{P: p, Xs: xs, Rates: rates}, nil
+}
+
+// S returns the number of samples.
+func (c *SerialCurve) S() int { return len(c.Xs) }
+
+// At approximates FI_ser_x for any x in [1, p] by the sampled bucket
+// (paper's sampling-based approach).
+func (c *SerialCurve) At(x int) stats.Rates {
+	return c.Rates[Bucket(x, c.P, c.S())-1]
+}
+
+// times scales rates componentwise by alpha (also componentwise).
+func times(r stats.Rates, alpha [3]float64) stats.Rates {
+	return stats.Rates{
+		Success: r.Success * alpha[0],
+		SDC:     r.SDC * alpha[1],
+		Failure: r.Failure * alpha[2],
+		N:       r.N,
+	}
+}
+
+// alphaOf computes the componentwise fine-tuning factor
+// alpha = small / serial with a guard: components with no serial mass get
+// factor 1 (nothing to scale).
+func alphaOf(small, serial stats.Rates) [3]float64 {
+	ratio := func(s, g float64) float64 {
+		const eps = 1e-9
+		if g < eps {
+			return 1
+		}
+		return s / g
+	}
+	return [3]float64{
+		ratio(small.Success, serial.Success),
+		ratio(small.SDC, serial.SDC),
+		ratio(small.Failure, serial.Failure),
+	}
+}
+
+// Inputs gathers everything the model consumes.
+type Inputs struct {
+	// P is the target (large) scale.
+	P int
+	// Serial is the sampled serial multi-error curve (FI_ser_x).
+	Serial *SerialCurve
+	// SmallProfile is r'_x for x = 1..S, the error-propagation profile
+	// measured in the small-scale campaign (paper Observation 3); it must
+	// sum to ~1.
+	SmallProfile []float64
+	// SmallConditional holds FI_small_par_x — the small-scale fault
+	// injection result conditioned on x ranks contaminated — used both for
+	// the 20% tuning decision and for the alpha factors.  Missing x values
+	// are tolerated (alpha defaults to 1).
+	SmallConditional map[int]stats.Rates
+	// Prob2 is the probability an error strikes the parallel-unique
+	// computation at the target scale (Eq. 1's second weight); Prob1 is
+	// 1 - Prob2.
+	Prob2 float64
+	// Unique is FI_par_unique, measured by a small-scale deployment
+	// restricted to the parallel-unique computation.  Ignored when Prob2
+	// is 0.
+	Unique stats.Rates
+	// TuneThreshold is the serial-vs-small disagreement (relative, on the
+	// success rate) above which fine-tuning activates.  Zero means the
+	// paper's 20%.
+	ForceTune *bool
+	// TuneThreshold overrides the paper's 0.2 when positive.
+	TuneThreshold float64
+}
+
+// Prediction is the model's output.
+type Prediction struct {
+	// Rates is the predicted fault injection result FI_par.
+	Rates stats.Rates
+	// Common is the predicted FI_par_common component (Eq. 4).
+	Common stats.Rates
+	// Tuned reports whether alpha fine-tuning was applied.
+	Tuned bool
+	// Disagreement is the measured serial-vs-small relative difference
+	// that drove the tuning decision.
+	Disagreement float64
+}
+
+// Predict evaluates the model.
+func Predict(in Inputs) (*Prediction, error) {
+	if in.Serial == nil {
+		return nil, errors.New("core: Inputs.Serial is nil")
+	}
+	if in.P != in.Serial.P {
+		return nil, fmt.Errorf("core: target scale %d does not match serial curve scale %d",
+			in.P, in.Serial.P)
+	}
+	s := len(in.SmallProfile)
+	if s == 0 {
+		return nil, errors.New("core: empty SmallProfile")
+	}
+	if in.Serial.S() != s {
+		return nil, fmt.Errorf("core: serial curve has %d samples but profile has %d buckets — the paper pairs them 1:1",
+			in.Serial.S(), s)
+	}
+	var mass float64
+	for _, r := range in.SmallProfile {
+		if r < 0 {
+			return nil, fmt.Errorf("core: negative propagation probability %g", r)
+		}
+		mass += r
+	}
+	if mass < 0.999 || mass > 1.001 {
+		return nil, fmt.Errorf("core: propagation profile sums to %g, want 1", mass)
+	}
+	if in.Prob2 < 0 || in.Prob2 > 1 {
+		return nil, fmt.Errorf("core: Prob2 %g out of [0,1]", in.Prob2)
+	}
+	threshold := in.TuneThreshold
+	if threshold <= 0 {
+		threshold = 0.2
+	}
+
+	// Tuning decision: compare FI_ser_x against FI_small_par_x for
+	// x = 1..S (paper §4.2: "larger than 20% difference").
+	disagreement := 0.0
+	for x := 1; x <= s; x++ {
+		small, ok := in.SmallConditional[x]
+		if !ok || small.N == 0 {
+			continue
+		}
+		ser := in.Serial.At(x)
+		d := relDiff(small.Success, ser.Success)
+		if d > disagreement {
+			disagreement = d
+		}
+	}
+	tune := disagreement > threshold
+	if in.ForceTune != nil {
+		tune = *in.ForceTune
+	}
+
+	// Fine-tuned serial samples: alpha_x for x <= S from the small scale;
+	// alpha_x = alpha_S beyond (paper §4.2).
+	samples := make([]stats.Rates, s)
+	copy(samples, in.Serial.Rates)
+	if tune {
+		alphaS := [3]float64{1, 1, 1}
+		if small, ok := in.SmallConditional[s]; ok && small.N > 0 {
+			alphaS = alphaOf(small, in.Serial.At(s))
+		}
+		for i, x := range in.Serial.Xs {
+			a := alphaS
+			if x <= s {
+				if small, ok := in.SmallConditional[x]; ok && small.N > 0 {
+					a = alphaOf(small, in.Serial.Rates[i])
+				}
+			}
+			samples[i] = times(samples[i], a)
+		}
+	}
+
+	// Eq. 4 under the sampling map (Eqs. 7–8): bucket i of the
+	// propagation profile pairs with serial sample i.
+	var common stats.Rates
+	for i := 0; i < s; i++ {
+		common = common.Plus(samples[i].Scale(in.SmallProfile[i]))
+	}
+
+	// Eq. 1.
+	rates := common.Scale(1 - in.Prob2)
+	if in.Prob2 > 0 {
+		rates = rates.Plus(in.Unique.Scale(in.Prob2))
+	}
+	return &Prediction{
+		Rates:        rates,
+		Common:       common,
+		Tuned:        tune,
+		Disagreement: disagreement,
+	}, nil
+}
+
+// relDiff returns |a-b| / max(|b|, eps).
+func relDiff(a, b float64) float64 {
+	const eps = 1e-9
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := b
+	if m < 0 {
+		m = -m
+	}
+	if m < eps {
+		m = eps
+	}
+	return d / m
+}

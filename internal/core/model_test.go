@@ -1,0 +1,328 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resmod/internal/stats"
+)
+
+func r(success, sdc, failure float64) stats.Rates {
+	return stats.Rates{Success: success, SDC: sdc, Failure: failure, N: 1000}
+}
+
+func TestSampleXsPaperExample(t *testing.T) {
+	// Paper §4.2: p=64, S=4 -> measure FI_ser at 1, 32, 48, 64.
+	xs, err := SampleXs(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 32, 48, 64}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("SampleXs(64,4) = %v, want %v", xs, want)
+		}
+	}
+}
+
+func TestSampleXsMore(t *testing.T) {
+	xs, err := SampleXs(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 16, 24, 32, 40, 48, 56, 64}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("SampleXs(64,8) = %v, want %v", xs, want)
+		}
+	}
+	if _, err := SampleXs(64, 5); err == nil {
+		t.Fatal("S=5 does not divide 64 but was accepted")
+	}
+	if _, err := SampleXs(0, 1); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestBucketPaperExample(t *testing.T) {
+	// Paper: FI_ser_2..FI_ser_16 approximated by sample 1 (bucket 1),
+	// FI_ser_17..FI_ser_32 by sample 2 (FI_ser_32).
+	cases := []struct{ x, want int }{
+		{1, 1}, {2, 1}, {16, 1}, {17, 2}, {32, 2}, {33, 3}, {48, 3}, {49, 4}, {64, 4},
+	}
+	for _, c := range cases {
+		if got := Bucket(c.x, 64, 4); got != c.want {
+			t.Fatalf("Bucket(%d, 64, 4) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBucketCoversAllSamples(t *testing.T) {
+	f := func(pRaw, sRaw uint8) bool {
+		s := int(sRaw%6) + 1
+		p := s * (int(pRaw%10) + 1)
+		seen := make(map[int]bool)
+		for x := 1; x <= p; x++ {
+			b := Bucket(x, p, s)
+			if b < 1 || b > s {
+				return false
+			}
+			seen[b] = true
+		}
+		return len(seen) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCurve(t *testing.T, p int, rates []stats.Rates) *SerialCurve {
+	t.Helper()
+	xs, err := SampleXs(p, len(rates))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewSerialCurve(p, xs, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPredictPaperExampleEq8(t *testing.T) {
+	// Eq. 8: FI_par_common = FI_ser_1*r'_1 + FI_ser_32*r'_2 +
+	//        FI_ser_48*r'_3 + FI_ser_64*r'_4 (p=64, S=4, no tuning,
+	//        no parallel-unique computation).
+	serial := mustCurve(t, 64, []stats.Rates{
+		r(0.9, 0.1, 0), r(0.6, 0.4, 0), r(0.5, 0.5, 0), r(0.4, 0.6, 0),
+	})
+	profile := []float64{0.7, 0.1, 0.1, 0.1}
+	pred, err := Predict(Inputs{
+		P: 64, Serial: serial, SmallProfile: profile,
+		SmallConditional: map[int]stats.Rates{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.7*0.9 + 0.1*0.6 + 0.1*0.5 + 0.1*0.4
+	if math.Abs(pred.Rates.Success-want) > 1e-12 {
+		t.Fatalf("predicted success = %g, want %g", pred.Rates.Success, want)
+	}
+	if pred.Tuned {
+		t.Fatal("tuned without small-scale data")
+	}
+}
+
+func TestPredictConvexity(t *testing.T) {
+	// The prediction must lie within [min, max] of the inputs' success
+	// rates (it is a convex combination when untuned and prob2=0).
+	f := func(raw [4]uint8, rawProf [4]uint8) bool {
+		rates := make([]stats.Rates, 4)
+		lo, hi := 1.0, 0.0
+		for i := range rates {
+			s := float64(raw[i]) / 255
+			rates[i] = r(s, 1-s, 0)
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		var total float64
+		prof := make([]float64, 4)
+		for i := range prof {
+			prof[i] = float64(rawProf[i]) + 1
+			total += prof[i]
+		}
+		for i := range prof {
+			prof[i] /= total
+		}
+		xs, _ := SampleXs(64, 4)
+		curve, err := NewSerialCurve(64, xs, rates)
+		if err != nil {
+			return false
+		}
+		pred, err := Predict(Inputs{P: 64, Serial: curve, SmallProfile: prof,
+			SmallConditional: map[int]stats.Rates{}})
+		if err != nil {
+			return false
+		}
+		return pred.Rates.Success >= lo-1e-12 && pred.Rates.Success <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictRatesSumToOne(t *testing.T) {
+	// With rate vectors summing to 1 and prob2 mixing, the prediction sums
+	// to 1 (untuned).
+	serial := mustCurve(t, 8, []stats.Rates{r(0.8, 0.15, 0.05), r(0.5, 0.4, 0.1)})
+	pred, err := Predict(Inputs{
+		P: 8, Serial: serial, SmallProfile: []float64{0.6, 0.4},
+		SmallConditional: map[int]stats.Rates{},
+		Prob2:            0.1, Unique: r(0.3, 0.6, 0.1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := pred.Rates.Success + pred.Rates.SDC + pred.Rates.Failure
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("prediction sums to %g", sum)
+	}
+}
+
+func TestTuningDecisionAndAlpha(t *testing.T) {
+	// Serial says success=0.9 at x=1 but the small scale measured 0.5 for
+	// one contaminated rank: 44% disagreement -> tuning kicks in, and the
+	// x=1 sample is replaced by exactly the small-scale value
+	// (alpha_1 = small_1/ser_1).
+	serial := mustCurve(t, 8, []stats.Rates{r(0.9, 0.1, 0), r(0.6, 0.4, 0)})
+	cond := map[int]stats.Rates{
+		1: r(0.5, 0.5, 0),
+		2: r(0.45, 0.55, 0),
+	}
+	pred, err := Predict(Inputs{
+		P: 8, Serial: serial, SmallProfile: []float64{1, 0},
+		SmallConditional: cond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Tuned {
+		t.Fatalf("not tuned despite %.0f%% disagreement", 100*pred.Disagreement)
+	}
+	if math.Abs(pred.Rates.Success-0.5) > 1e-12 {
+		t.Fatalf("tuned prediction = %g, want 0.5", pred.Rates.Success)
+	}
+}
+
+func TestTuningSkippedWhenClose(t *testing.T) {
+	serial := mustCurve(t, 8, []stats.Rates{r(0.9, 0.1, 0), r(0.6, 0.4, 0)})
+	cond := map[int]stats.Rates{1: r(0.85, 0.15, 0)}
+	pred, err := Predict(Inputs{
+		P: 8, Serial: serial, SmallProfile: []float64{0.5, 0.5},
+		SmallConditional: cond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Tuned {
+		t.Fatalf("tuned at %.0f%% disagreement (threshold 20%%)", 100*pred.Disagreement)
+	}
+}
+
+func TestForceTuneOverride(t *testing.T) {
+	serial := mustCurve(t, 8, []stats.Rates{r(0.9, 0.1, 0), r(0.6, 0.4, 0)})
+	cond := map[int]stats.Rates{1: r(0.85, 0.15, 0)}
+	force := true
+	pred, err := Predict(Inputs{
+		P: 8, Serial: serial, SmallProfile: []float64{1, 0},
+		SmallConditional: cond, ForceTune: &force,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Tuned || math.Abs(pred.Rates.Success-0.85) > 1e-12 {
+		t.Fatalf("forced tuning: %+v", pred)
+	}
+}
+
+func TestAlphaBeyondSUsesAlphaS(t *testing.T) {
+	// S=2: sample x=1 uses alpha_1, sample x=8 (>S) uses alpha_2 = alpha_S.
+	serial := mustCurve(t, 8, []stats.Rates{r(0.8, 0.2, 0), r(0.4, 0.6, 0)})
+	cond := map[int]stats.Rates{
+		1: r(0.4, 0.6, 0), // alpha_1 success = 0.5
+		2: r(0.2, 0.8, 0), // alpha_S: based on FI_ser at x=2 -> bucket 1 (0.8): 0.25
+	}
+	pred, err := Predict(Inputs{
+		P: 8, Serial: serial, SmallProfile: []float64{0, 1},
+		SmallConditional: cond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket 2's sample is x=8: alpha_S = small_2/ser@2 = 0.2/0.8 = 0.25,
+	// tuned sample success = 0.4 * 0.25 = 0.1.
+	if !pred.Tuned {
+		t.Fatal("expected tuning")
+	}
+	if math.Abs(pred.Rates.Success-0.1) > 1e-12 {
+		t.Fatalf("success = %g, want 0.1", pred.Rates.Success)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	serial := mustCurve(t, 8, []stats.Rates{r(1, 0, 0), r(1, 0, 0)})
+	cases := []Inputs{
+		{},
+		{P: 4, Serial: serial, SmallProfile: []float64{1, 0}},
+		{P: 8, Serial: serial, SmallProfile: nil},
+		{P: 8, Serial: serial, SmallProfile: []float64{0.5, 0.2}}, // mass != 1
+		{P: 8, Serial: serial, SmallProfile: []float64{1.5, -0.5}},
+		{P: 8, Serial: serial, SmallProfile: []float64{1, 0}, Prob2: 2},
+		{P: 8, Serial: serial, SmallProfile: []float64{0.5, 0.25, 0.25}}, // bucket mismatch
+	}
+	for i, in := range cases {
+		if _, err := Predict(in); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, in)
+		}
+	}
+}
+
+func TestNewSerialCurveValidation(t *testing.T) {
+	if _, err := NewSerialCurve(8, []int{1, 3}, []stats.Rates{r(1, 0, 0), r(1, 0, 0)}); err == nil {
+		t.Fatal("wrong sample points accepted")
+	}
+	if _, err := NewSerialCurve(8, nil, nil); err == nil {
+		t.Fatal("empty curve accepted")
+	}
+}
+
+func TestPropagationSimilarityIdentical(t *testing.T) {
+	small := stats.NewHist(8)
+	large := stats.NewHist(64)
+	// 77% one-rank, 22% all-ranks, 1% three ranks — scaled consistently.
+	for i := 0; i < 77; i++ {
+		small.Add(1)
+		large.Add(1)
+	}
+	for i := 0; i < 22; i++ {
+		small.Add(8)
+		large.Add(64)
+	}
+	small.Add(3)
+	large.Add(17) // group 3 of 8 covers bins 17..24
+	sim, err := PropagationSimilarity(small, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim < 0.999 {
+		t.Fatalf("similarity = %g, want ~1", sim)
+	}
+}
+
+func TestPropagationSimilarityDissimilar(t *testing.T) {
+	small := stats.NewHist(4)
+	large := stats.NewHist(64)
+	// Small scale: everything propagates everywhere; large: nothing does.
+	for i := 0; i < 100; i++ {
+		small.Add(4)
+		large.Add(1)
+	}
+	sim, err := PropagationSimilarity(small, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim > 0.1 {
+		t.Fatalf("similarity = %g, want ~0", sim)
+	}
+}
+
+func TestPredictionError(t *testing.T) {
+	if got := PredictionError(r(0.8, 0.2, 0), r(0.7, 0.3, 0)); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("PredictionError = %g", got)
+	}
+}

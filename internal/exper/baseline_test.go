@@ -1,0 +1,55 @@
+package exper
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBaselinesPipeline(t *testing.T) {
+	s := tiny(t)
+	rows, err := Baselines(s, []string{"PENNANT", "LU"}, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		em, es, eo := r.Errors()
+		for _, e := range []float64{em, es, eo} {
+			if e < 0 || e > 1 {
+				t.Fatalf("error out of range: %+v", r)
+			}
+		}
+	}
+	sum := SummarizeBaselines(rows)
+	if sum.Model < 0 || sum.Model > 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	var buf bytes.Buffer
+	RenderBaselines(&buf, rows)
+	if !strings.Contains(buf.String(), "serial-only") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+	if SummarizeBaselines(nil) != (BaselineSummary{}) {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestAblateModelPipeline(t *testing.T) {
+	s := tiny(t)
+	// CG has a parallel-unique term, so the NoUnique variant can differ.
+	ab, err := AblateModel(s, "CG", "", 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{ab.Measured, ab.Full, ab.NoTuning, ab.NoUnique} {
+		if v < 0 || v > 1 {
+			t.Fatalf("ablation out of range: %+v", ab)
+		}
+	}
+	if ab.Bench != "CG" {
+		t.Fatalf("bench = %q", ab.Bench)
+	}
+}

@@ -1,0 +1,93 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"resmod/internal/faultsim"
+	"resmod/internal/stats"
+)
+
+// PropagationResult reproduces one of the paper's Figure 1/2 panels: the
+// error-propagation histograms of one benchmark at the small and large
+// scale, plus the grouped large-scale histogram.
+type PropagationResult struct {
+	Bench string
+	Class string
+	Small int
+	Large int
+	// SmallProfile[x-1] is the fraction of tests contaminating x ranks in
+	// the small-scale execution (Figure 1a).
+	SmallProfile []float64
+	// LargeProfile is the same for the large scale (Figure 1b).
+	LargeProfile []float64
+	// Grouped is the large-scale profile aggregated into len(SmallProfile)
+	// groups (Figure 1c).
+	Grouped []float64
+	// Cosine is the similarity between SmallProfile and Grouped.
+	Cosine float64
+}
+
+// Propagation profiles error propagation for one benchmark (Figure 1 is
+// CG with small=8, Figure 2 is FT with small=8).
+func Propagation(s *Session, name string, small, large int) (*PropagationResult, error) {
+	list, err := resolveApps([]string{name})
+	if err != nil {
+		return nil, err
+	}
+	a := list[0]
+	class := a.DefaultClass()
+	sc, err := s.Campaign(a, class, small, 1, faultsim.AnyRegion)
+	if err != nil {
+		return nil, err
+	}
+	lc, err := s.Campaign(a, class, large, 1, faultsim.AnyRegion)
+	if err != nil {
+		return nil, err
+	}
+	grouped, err := lc.Hist.Group(small)
+	if err != nil {
+		return nil, err
+	}
+	smallProf := sc.Hist.Probabilities()
+	cos, err := stats.Cosine(smallProf, grouped)
+	if err != nil {
+		return nil, err
+	}
+	return &PropagationResult{
+		Bench: a.Name(), Class: class, Small: small, Large: large,
+		SmallProfile: smallProf,
+		LargeProfile: lc.Hist.Probabilities(),
+		Grouped:      grouped,
+		Cosine:       cos,
+	}, nil
+}
+
+// RenderPropagation prints the three panels as text bar charts.
+func RenderPropagation(w io.Writer, r *PropagationResult) {
+	fmt.Fprintf(w, "%s (%s): error propagation, %d vs %d ranks (cosine %.3f)\n",
+		r.Bench, r.Class, r.Small, r.Large, r.Cosine)
+	fmt.Fprintf(w, "(a) small scale (%d ranks):\n", r.Small)
+	renderBars(w, r.SmallProfile, 1)
+	fmt.Fprintf(w, "(b) large scale (%d ranks), non-zero bins:\n", r.Large)
+	renderBars(w, r.LargeProfile, 1)
+	fmt.Fprintf(w, "(c) large scale grouped into %d groups:\n", r.Small)
+	renderBars(w, r.Grouped, r.Large/r.Small)
+}
+
+// renderBars prints a sparse textual bar chart; width is the number of
+// propagation cases each bin aggregates.
+func renderBars(w io.Writer, probs []float64, width int) {
+	for i, p := range probs {
+		if p == 0 {
+			continue
+		}
+		label := fmt.Sprintf("%d", i+1)
+		if width > 1 {
+			label = fmt.Sprintf("%d-%d", i*width+1, (i+1)*width)
+		}
+		fmt.Fprintf(w, "  %8s | %-50s %s\n", label,
+			strings.Repeat("#", int(p*50+0.5)), fmtPct(p))
+	}
+}

@@ -1,0 +1,207 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"resmod/internal/apps"
+	"resmod/internal/core"
+	"resmod/internal/faultsim"
+	"resmod/internal/stats"
+)
+
+// PredictionRow is one benchmark's measured-vs-predicted entry of the
+// paper's Figures 5, 6 and 7.
+type PredictionRow struct {
+	Bench     string
+	Class     string
+	Large     int // target scale p
+	Small     int // small-scale size S used for profiling/tuning
+	Measured  stats.Rates
+	Predicted stats.Rates
+	Tuned     bool
+	// Error is |measured - predicted| success rate.
+	Error float64
+	// SmallTime is the wall time of the small-scale deployment and
+	// SerialTime of one serial deployment, for the Figure 8 cost axis.
+	SmallTime  time.Duration
+	SerialTime time.Duration
+}
+
+// gatherModelInputs runs the deployments of §4 for one benchmark and
+// assembles the model inputs, the measured large-scale ground truth, and
+// the campaign wall times.
+func gatherModelInputs(s *Session, a apps.App, class string, small, large int) (*core.Inputs, stats.Rates, error) {
+	in, _, _, measured, err := gatherModelInputsTimed(s, a, class, small, large)
+	return in, measured, err
+}
+
+func gatherModelInputsTimed(s *Session, a apps.App, class string, small, large int) (
+	*core.Inputs, time.Duration, time.Duration, stats.Rates, error) {
+	// Serial curve at the paper's sampling points.
+	xs, err := core.SampleXs(large, small)
+	if err != nil {
+		return nil, 0, 0, stats.Rates{}, err
+	}
+	rates := make([]stats.Rates, len(xs))
+	var serialTime time.Duration
+	for i, x := range xs {
+		sum, err := s.Campaign(a, class, 1, x, faultsim.CommonOnly)
+		if err != nil {
+			return nil, 0, 0, stats.Rates{}, err
+		}
+		rates[i] = sum.Rates
+		serialTime += sum.Elapsed
+	}
+	curve, err := core.NewSerialCurve(large, xs, rates)
+	if err != nil {
+		return nil, 0, 0, stats.Rates{}, err
+	}
+	serialTime /= time.Duration(len(xs))
+
+	// Small-scale deployment: propagation profile, conditional rates.
+	smallSum, err := s.Campaign(a, class, small, 1, faultsim.AnyRegion)
+	if err != nil {
+		return nil, 0, 0, stats.Rates{}, err
+	}
+	cond := make(map[int]stats.Rates)
+	for x := 1; x <= small; x++ {
+		if r, ok := smallSum.ConditionalRates(x); ok {
+			cond[x] = r
+		}
+	}
+
+	// Parallel-unique weight from the large-scale golden run (one clean
+	// run — cheap; the expensive part the model avoids is the large-scale
+	// deployment's thousands of injected runs).
+	golden, err := s.Golden(a, class, large)
+	if err != nil {
+		return nil, 0, 0, stats.Rates{}, err
+	}
+	prob2 := golden.UniqueFraction()
+	var unique stats.Rates
+	if prob2 > 0 {
+		uc, err := s.Campaign(a, class, small, 1, faultsim.UniqueOnly)
+		if err != nil {
+			return nil, 0, 0, stats.Rates{}, err
+		}
+		unique = uc.Rates
+	}
+
+	// Ground truth: the measured large-scale deployment.
+	measured, err := s.Campaign(a, class, large, 1, faultsim.AnyRegion)
+	if err != nil {
+		return nil, 0, 0, stats.Rates{}, err
+	}
+
+	in := &core.Inputs{
+		P:                large,
+		Serial:           curve,
+		SmallProfile:     smallSum.Hist.Probabilities(),
+		SmallConditional: cond,
+		Prob2:            prob2,
+		Unique:           unique,
+	}
+	return in, smallSum.Elapsed, serialTime, measured.Rates, nil
+}
+
+// PredictOne runs the full modeling pipeline of §4 for one benchmark:
+// serial sampled multi-error deployments, a small-scale deployment for the
+// propagation profile / tuning factors / parallel-unique rates, and the
+// measured large-scale deployment for ground truth.
+func PredictOne(s *Session, name, class string, small, large int) (*PredictionRow, error) {
+	list, err := resolveApps([]string{name})
+	if err != nil {
+		return nil, err
+	}
+	a := list[0]
+	if class == "" {
+		class = a.DefaultClass()
+	}
+	inputs, smallTime, serialTime, measured, err := gatherModelInputsTimed(s, a, class, small, large)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := core.Predict(*inputs)
+	if err != nil {
+		return nil, err
+	}
+	predRates := pred.Rates
+	return &PredictionRow{
+		Bench: a.Name(), Class: class, Large: large, Small: small,
+		Measured:  measured,
+		Predicted: predRates,
+		Tuned:     pred.Tuned,
+		Error:     core.PredictionError(measured, predRates),
+		SmallTime: smallTime, SerialTime: serialTime,
+	}, nil
+}
+
+// PredictAll runs PredictOne for every named benchmark (all registered
+// when names is empty) — one of the paper's Figure 5/6 panels.
+func PredictAll(s *Session, names []string, small, large int) ([]PredictionRow, error) {
+	list, err := resolveApps(names)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PredictionRow, 0, len(list))
+	for _, a := range list {
+		row, err := PredictOne(s, a.Name(), "", small, large)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// SummarizeErrors returns the average and maximum success-rate prediction
+// error over the rows (the paper's headline numbers).
+func SummarizeErrors(rows []PredictionRow) (avg, max float64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	for _, r := range rows {
+		avg += r.Error
+		if r.Error > max {
+			max = r.Error
+		}
+	}
+	return avg / float64(len(rows)), max
+}
+
+// RMSEOf returns the paper's Eq. 9 over the rows' success rates.
+func RMSEOf(rows []PredictionRow) float64 {
+	measured := make([]float64, len(rows))
+	predicted := make([]float64, len(rows))
+	for i, r := range rows {
+		measured[i] = r.Measured.Success
+		predicted[i] = r.Predicted.Success
+	}
+	rmse, err := stats.RMSE(measured, predicted)
+	if err != nil {
+		return 0
+	}
+	return rmse
+}
+
+// RenderPredictions prints a Figure 5/6/7 style table.
+func RenderPredictions(w io.Writer, rows []PredictionRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "prediction for %d ranks from serial + %d ranks\n",
+		rows[0].Large, rows[0].Small)
+	fmt.Fprintf(w, "  %-14s %-10s %-10s %-8s %s\n",
+		"benchmark", "measured", "predicted", "error", "tuned")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-14s %-10s %-10s %-8s %v\n",
+			fmt.Sprintf("%s (%s)", r.Bench, r.Class),
+			fmtPct(r.Measured.Success), fmtPct(r.Predicted.Success),
+			fmtPct(r.Error), r.Tuned)
+	}
+	avg, max := SummarizeErrors(rows)
+	fmt.Fprintf(w, "  average error %s, max %s, RMSE %.4f\n",
+		fmtPct(avg), fmtPct(max), RMSEOf(rows))
+}

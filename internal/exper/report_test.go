@@ -1,0 +1,35 @@
+package exper
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReportEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report (includes 128-rank deployments) skipped in -short mode")
+	}
+	s := NewSession(Config{Trials: 5, Seed: 99})
+	var buf bytes.Buffer
+	if err := Report(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"## Table 1", "## Table 2", "## Figures 1–2", "## Figure 3",
+		"## Figure 5", "## Figure 6", "## Figure 7", "## Figure 8",
+		"paper", "measured",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out[:min(2000, len(out))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,43 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+)
+
+// ScaleSweep predicts a series of growing target scales from one fixed
+// small scale — the extrapolation-depth study the paper's Figure 7 samples
+// at a single point (128 ranks).  It answers: how far can the same
+// serial + small-scale inputs carry before accuracy degrades?
+func ScaleSweep(s *Session, name, class string, small int, larges []int) ([]PredictionRow, error) {
+	if len(larges) == 0 {
+		larges = []int{16, 32, 64}
+	}
+	rows := make([]PredictionRow, 0, len(larges))
+	for _, large := range larges {
+		if large%small != 0 {
+			return nil, fmt.Errorf("exper: scale sweep target %d not a multiple of small %d",
+				large, small)
+		}
+		row, err := PredictOne(s, name, class, small, large)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// RenderScaleSweep prints the sweep.
+func RenderScaleSweep(w io.Writer, rows []PredictionRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s: extrapolation depth from serial + %d ranks\n",
+		rows[0].Bench, rows[0].Small)
+	fmt.Fprintf(w, "  %-8s %-10s %-10s %s\n", "target", "measured", "predicted", "error")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8d %-10s %-10s %s\n",
+			r.Large, fmtPct(r.Measured.Success), fmtPct(r.Predicted.Success), fmtPct(r.Error))
+	}
+}

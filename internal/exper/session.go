@@ -1,0 +1,151 @@
+// Package exper contains the evaluation drivers that regenerate every
+// table and figure of the paper: Table 1 (parallel-unique computation),
+// Table 2 (propagation cosine similarity), Figures 1–2 (propagation
+// histograms), Figure 3 (serial-vs-parallel resilience characterization),
+// Figures 5–7 (prediction accuracy at 64 and 128 ranks) and Figure 8
+// (accuracy/cost sensitivity).  The drivers are shared by the resmod CLI
+// and the benchmark harness.
+package exper
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"resmod/internal/apps"
+	"resmod/internal/faultsim"
+)
+
+// Config tunes an evaluation session.
+type Config struct {
+	// Trials per fault injection deployment (the paper uses 4000; smaller
+	// values trade statistical tightness for speed).
+	Trials int
+	// Seed drives every campaign deterministically.
+	Seed uint64
+	// Timeout is the per-test hang budget.
+	Timeout time.Duration
+	// Workers is the per-campaign trial concurrency.
+	Workers int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials <= 0 {
+		c.Trials = 400
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = apps.DefaultTimeout
+	}
+	return c
+}
+
+// Session caches golden runs and campaign summaries so that experiments
+// sharing deployments (e.g. the serial curves of Figures 5, 6 and 8) run
+// them once.
+type Session struct {
+	cfg Config
+
+	mu      sync.Mutex
+	goldens map[string]*faultsim.Golden
+	camps   map[string]*faultsim.Summary
+}
+
+// NewSession creates a session.
+func NewSession(cfg Config) *Session {
+	return &Session{
+		cfg:     cfg.withDefaults(),
+		goldens: make(map[string]*faultsim.Golden),
+		camps:   make(map[string]*faultsim.Summary),
+	}
+}
+
+// Config returns the session's effective configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+func (s *Session) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+	}
+}
+
+// Golden returns (computing and caching on first use) the fault-free run.
+func (s *Session) Golden(app apps.App, class string, procs int) (*faultsim.Golden, error) {
+	if class == "" {
+		class = app.DefaultClass()
+	}
+	key := fmt.Sprintf("%s/%s/p%d", app.Name(), class, procs)
+	s.mu.Lock()
+	g, ok := s.goldens[key]
+	s.mu.Unlock()
+	if ok {
+		return g, nil
+	}
+	g, err := faultsim.ComputeGolden(app, class, procs, s.cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.goldens[key] = g
+	s.mu.Unlock()
+	return g, nil
+}
+
+// Campaign returns (running and caching on first use) a deployment summary.
+func (s *Session) Campaign(app apps.App, class string, procs, errors int, region faultsim.RegionMode) (*faultsim.Summary, error) {
+	if class == "" {
+		class = app.DefaultClass()
+	}
+	key := fmt.Sprintf("%s/%s/p%d/e%d/r%d/t%d", app.Name(), class, procs, errors,
+		int(region), s.cfg.Trials)
+	s.mu.Lock()
+	sum, ok := s.camps[key]
+	s.mu.Unlock()
+	if ok {
+		return sum, nil
+	}
+	golden, err := s.Golden(app, class, procs)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sum, err = faultsim.RunAgainst(faultsim.Campaign{
+		App: app, Class: class, Procs: procs, Trials: s.cfg.Trials,
+		Errors: errors, Region: region, Seed: s.cfg.Seed,
+		Timeout: s.cfg.Timeout, Workers: s.cfg.Workers,
+	}, golden)
+	if err != nil {
+		return nil, fmt.Errorf("exper: campaign %s: %w", key, err)
+	}
+	s.logf("campaign %-28s %s  [%v]", key, sum.Rates, time.Since(start).Round(time.Millisecond))
+	s.mu.Lock()
+	s.camps[key] = sum
+	s.mu.Unlock()
+	return sum, nil
+}
+
+// PaperBenchmarks are the six applications the paper evaluates, in its
+// presentation order.  Experiments default to them; extension benchmarks
+// (e.g. EP) participate only when named explicitly.
+var PaperBenchmarks = []string{"CG", "FT", "MG", "LU", "MiniFE", "PENNANT"}
+
+// resolveApps maps names to registered apps (the paper's six when empty).
+func resolveApps(names []string) ([]apps.App, error) {
+	if len(names) == 0 {
+		names = PaperBenchmarks
+	}
+	out := make([]apps.App, len(names))
+	for i, n := range names {
+		a, err := apps.Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// fmtPct renders a probability as the paper's percentage style.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

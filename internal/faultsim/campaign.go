@@ -1,0 +1,426 @@
+package faultsim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"resmod/internal/apps"
+	"resmod/internal/fpe"
+	"resmod/internal/simmpi"
+	"resmod/internal/stats"
+)
+
+// Outcome is a fault injection test's result (paper §2).
+type Outcome int
+
+// The three test outcomes.
+const (
+	// Success: the output is identical to the fault-free run or passes the
+	// application checker.
+	Success Outcome = iota
+	// SDC: silent data corruption — the output differs and fails the
+	// checker.
+	SDC
+	// Failure: the application crashed or hung.
+	Failure
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Success:
+		return "success"
+	case SDC:
+		return "sdc"
+	case Failure:
+		return "failure"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// RegionMode selects which computation an injection may strike.
+type RegionMode int
+
+// The region modes.
+const (
+	// AnyRegion draws uniformly over the whole injectable stream (common
+	// and parallel-unique weighted by their dynamic operation counts) —
+	// the paper's parallel fault injection deployments.
+	AnyRegion RegionMode = iota
+	// CommonOnly restricts injections to the common computation — the
+	// paper's serial multi-error deployments.
+	CommonOnly
+	// UniqueOnly restricts injections to the parallel-unique computation —
+	// used to measure FI_par_unique.
+	UniqueOnly
+)
+
+// Campaign is one fault injection deployment: a specific configuration
+// (scale, error count, region, fault pattern) run for Trials randomized
+// tests (paper §2).
+type Campaign struct {
+	App   apps.App
+	Class string // empty = app default
+	Procs int
+	// Trials is the number of fault injection tests (the paper uses 4000).
+	Trials int
+	// Errors is the number of simultaneous errors per test (>=1); the
+	// paper's serial deployments sweep this from 1 to p.
+	Errors int
+	// Region selects the computation injections may strike.
+	Region RegionMode
+	// Seed makes the whole campaign deterministic.
+	Seed uint64
+	// Timeout is the per-test hang budget (default apps.DefaultTimeout).
+	Timeout time.Duration
+	// Workers is the trial-level concurrency (default GOMAXPROCS).
+	Workers int
+
+	// SpreadErrors distributes the Errors of a parallel test across that
+	// many *distinct* ranks (one error each) instead of injecting them all
+	// into one rank's stream — modelling spatially correlated fault events
+	// (e.g. one particle strike affecting several boards).  An extension
+	// beyond the paper, which always injects into a single rank.
+	SpreadErrors bool
+
+	// ContaminationTol is the relative per-element deviation above which a
+	// rank's final state counts as contaminated (paper §3.2).  The paper's
+	// testbed runs real MPI, where reduction-order noise makes only
+	// above-noise divergence observable as contamination; resmod models
+	// that significance threshold explicitly.  Zero selects
+	// DefaultContaminationTol; a negative value selects bit-exact
+	// comparison (every ULP of divergence counts).
+	ContaminationTol float64
+
+	// Pattern selects the fault shape (default single-bit flip, the
+	// paper's configuration).
+	Pattern fpe.Pattern
+	// KindMask restricts injections to specific operation kinds
+	// (bitmask of 1<<fpe.OpAdd etc.; zero = any injectable kind).
+	KindMask uint8
+	// FixedBit pins the flipped bit for bit-position sensitivity sweeps
+	// (single-bit pattern only).
+	FixedBit *uint
+	// Window restricts the injected dynamic-index range to a fraction
+	// [lo, hi) of the operation stream, for injection-time sweeps.
+	Window *[2]float64
+}
+
+// drawOpts assembles the fpe drawing options from the campaign fields.
+func (c Campaign) drawOpts() fpe.DrawOpts {
+	return fpe.DrawOpts{
+		Pattern:  c.Pattern,
+		KindMask: c.KindMask,
+		FixedBit: c.FixedBit,
+		Window:   c.Window,
+	}
+}
+
+// TrialRecord describes one completed test, for tracing.
+type TrialRecord struct {
+	Outcome      Outcome
+	Contaminated int
+	TargetRank   int
+	Fired        int
+	// Distances holds the ring distances of the contaminated ranks from
+	// the target (empty for Failure outcomes).
+	Distances []int
+}
+
+// Summary is a deployment's fault injection result (paper §2): outcome
+// rates plus the contamination profile and conditional rates the model
+// consumes.
+type Summary struct {
+	// Rates is the overall fault injection result.
+	Rates stats.Rates
+	// Counts holds the raw outcome tallies behind Rates.
+	Counts stats.Counter
+	// Hist profiles how many ranks each completed test contaminated
+	// (Failure tests, having no final state, are not profiled).
+	Hist *stats.Hist
+	// ByContamination holds outcome counters conditioned on the number of
+	// contaminated ranks — FI_small_par_x in the paper's notation.
+	ByContamination map[int]*stats.Counter
+	// SpreadByDistance[d] counts contaminated ranks at ring distance d
+	// from the injected rank, over all completed tests (distance
+	// min(|r-t|, p-|r-t|)).  It separates neighbour-wise spreaders (LU's
+	// pipeline) from global spreaders (CG's reductions).
+	SpreadByDistance []uint64
+	// Golden is the reference execution the campaign ran against.
+	Golden *Golden
+	// Elapsed is the campaign's total wall time (the paper's "fault
+	// injection time").
+	Elapsed time.Duration
+	// AvgFired is the mean number of planned injections that actually
+	// executed per test (late plan indices can be skipped when corrupted
+	// control flow shortens the operation stream).
+	AvgFired float64
+}
+
+// ConditionalRates returns the fault injection result over tests that
+// contaminated exactly x ranks, and whether any such tests exist.
+func (s *Summary) ConditionalRates(x int) (stats.Rates, bool) {
+	c, ok := s.ByContamination[x]
+	if !ok || c.Total() == 0 {
+		return stats.Rates{}, false
+	}
+	return c.Rates(), true
+}
+
+// Run executes the deployment.  The result is deterministic for a given
+// Campaign value (including Seed), regardless of Workers.
+func Run(c Campaign) (*Summary, error) {
+	if c.App == nil {
+		return nil, errors.New("faultsim: Campaign.App is nil")
+	}
+	if c.Class == "" {
+		c.Class = c.App.DefaultClass()
+	}
+	if c.Procs < 1 {
+		return nil, fmt.Errorf("faultsim: invalid Procs %d", c.Procs)
+	}
+	if c.Trials < 1 {
+		return nil, fmt.Errorf("faultsim: invalid Trials %d", c.Trials)
+	}
+	if c.Errors < 1 {
+		c.Errors = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = apps.DefaultTimeout
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	golden, err := ComputeGolden(c.App, c.Class, c.Procs, c.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	return RunAgainst(c, golden)
+}
+
+// RunAgainst executes the deployment against a precomputed golden run
+// (letting callers share one golden across deployments).
+func RunAgainst(c Campaign, golden *Golden) (*Summary, error) {
+	if golden.Procs != c.Procs {
+		return nil, fmt.Errorf("faultsim: golden has %d procs, campaign wants %d",
+			golden.Procs, c.Procs)
+	}
+	if c.Trials < 1 {
+		return nil, fmt.Errorf("faultsim: invalid Trials %d", c.Trials)
+	}
+	if c.Errors < 1 {
+		c.Errors = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = apps.DefaultTimeout
+	}
+	if c.ContaminationTol == 0 {
+		c.ContaminationTol = DefaultContaminationTol
+	}
+	start := time.Now()
+	base := stats.NewRNG(c.Seed)
+
+	maxDist := c.Procs/2 + 1
+	type partial struct {
+		counter stats.Counter
+		hist    *stats.Hist
+		byCont  map[int]*stats.Counter
+		spread  []uint64
+		fired   uint64
+		err     error
+	}
+	parts := make([]partial, c.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < c.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &parts[w]
+			p.hist = stats.NewHist(c.Procs)
+			p.byCont = make(map[int]*stats.Counter)
+			p.spread = make([]uint64, maxDist)
+			for t := w; t < c.Trials; t += c.Workers {
+				rec, err := runTrial(c, golden, base.Split(uint64(t)))
+				if err != nil {
+					p.err = err
+					return
+				}
+				p.fired += uint64(rec.Fired)
+				switch rec.Outcome {
+				case Success:
+					p.counter.AddSuccess()
+				case SDC:
+					p.counter.AddSDC()
+				case Failure:
+					p.counter.AddFailure()
+				}
+				if rec.Outcome != Failure {
+					p.hist.Add(rec.Contaminated)
+					for _, d := range rec.Distances {
+						p.spread[d]++
+					}
+					bc := p.byCont[clampCont(rec.Contaminated, c.Procs)]
+					if bc == nil {
+						bc = &stats.Counter{}
+						p.byCont[clampCont(rec.Contaminated, c.Procs)] = bc
+					}
+					switch rec.Outcome {
+					case Success:
+						bc.AddSuccess()
+					case SDC:
+						bc.AddSDC()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sum := &Summary{
+		Hist:             stats.NewHist(c.Procs),
+		ByContamination:  make(map[int]*stats.Counter),
+		SpreadByDistance: make([]uint64, maxDist),
+		Golden:           golden,
+	}
+	var counter stats.Counter
+	var fired uint64
+	for i := range parts {
+		p := &parts[i]
+		if p.err != nil {
+			return nil, p.err
+		}
+		counter.Merge(p.counter)
+		fired += p.fired
+		for x, cnt := range p.hist.Counts {
+			sum.Hist.Counts[x] += cnt
+		}
+		for d, cnt := range p.spread {
+			sum.SpreadByDistance[d] += cnt
+		}
+		for x, bc := range p.byCont {
+			dst := sum.ByContamination[x]
+			if dst == nil {
+				dst = &stats.Counter{}
+				sum.ByContamination[x] = dst
+			}
+			dst.Merge(*bc)
+		}
+	}
+	sum.Rates = counter.Rates()
+	sum.Counts = counter
+	sum.AvgFired = float64(fired) / float64(c.Trials)
+	sum.Elapsed = time.Since(start)
+	return sum, nil
+}
+
+// ringDistance returns min(|a-b|, p-|a-b|): the hop count between two
+// ranks on a ring of p, the topology metric for 1-D decomposed apps.
+func ringDistance(a, b, p int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if p-d < d {
+		d = p - d
+	}
+	return d
+}
+
+// clampCont maps a contamination count into [1, p] the way the histogram
+// does, so ByContamination keys line up with Hist bins.
+func clampCont(x, p int) int {
+	if x < 1 {
+		return 1
+	}
+	if x > p {
+		return p
+	}
+	return x
+}
+
+// drawFor draws a k-error plan for one rank under the campaign's region
+// mode and options.
+func drawFor(c Campaign, golden *Golden, rng *stats.RNG, rank, k int) ([]fpe.Injection, error) {
+	opts := c.drawOpts()
+	kc := golden.KindCounts[rank]
+	switch c.Region {
+	case AnyRegion:
+		if k == 1 {
+			return fpe.DrawAnyRegionWith(rng, kc, opts)
+		}
+		return fpe.DrawWith(rng, kc, fpe.Common, k, opts)
+	case CommonOnly:
+		return fpe.DrawWith(rng, kc, fpe.Common, k, opts)
+	case UniqueOnly:
+		return fpe.DrawWith(rng, kc, fpe.Unique, k, opts)
+	default:
+		return nil, fmt.Errorf("faultsim: unknown region mode %d", int(c.Region))
+	}
+}
+
+// runTrial executes one fault injection test.
+func runTrial(c Campaign, golden *Golden, rng *stats.RNG) (TrialRecord, error) {
+	target := 0
+	if c.Procs > 1 {
+		target = rng.Intn(c.Procs)
+	}
+	plans := make(map[int][]fpe.Injection)
+	if c.SpreadErrors && c.Procs > 1 && c.Errors > 1 {
+		k := c.Errors
+		if k > c.Procs {
+			return TrialRecord{}, fmt.Errorf(
+				"faultsim: SpreadErrors wants %d distinct ranks of %d", k, c.Procs)
+		}
+		ranks := rng.Perm(c.Procs)[:k]
+		target = ranks[0]
+		for _, r := range ranks {
+			plan, err := drawFor(c, golden, rng, r, 1)
+			if err != nil {
+				return TrialRecord{}, err
+			}
+			plans[r] = plan
+		}
+	} else {
+		plan, err := drawFor(c, golden, rng, target, c.Errors)
+		if err != nil {
+			return TrialRecord{}, err
+		}
+		plans[target] = plan
+	}
+
+	res := apps.Execute(golden.App, golden.Class, c.Procs, plans, c.Timeout)
+	fired := 0
+	for r := range plans {
+		fired += res.Ctxs[r].Fired()
+	}
+	rec := TrialRecord{TargetRank: target, Fired: fired}
+	if res.Err != nil {
+		var pe *simmpi.PanicError
+		if errors.As(res.Err, &pe) || errors.Is(res.Err, simmpi.ErrTimeout) {
+			rec.Outcome = Failure
+			return rec, nil
+		}
+		// Any other error is a harness problem, not an application outcome.
+		return rec, fmt.Errorf("faultsim: trial failed abnormally: %w", res.Err)
+	}
+	for r := 0; r < c.Procs; r++ {
+		if diverged(res.Outputs[r].State, golden.States[r], c.ContaminationTol) {
+			rec.Contaminated++
+			rec.Distances = append(rec.Distances, ringDistance(r, target, c.Procs))
+		}
+	}
+	if golden.App.Verify(golden.Check, res.Outputs[0].Check) {
+		rec.Outcome = Success
+	} else {
+		rec.Outcome = SDC
+	}
+	return rec, nil
+}

@@ -1,0 +1,85 @@
+package faultsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDivergedBitwiseMode(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3 + 1e-15}
+	if diverged(a, a, -1) {
+		t.Fatal("identical states diverged bitwise")
+	}
+	if !diverged(b, a, -1) {
+		t.Fatal("1-ulp-scale change invisible bitwise")
+	}
+}
+
+func TestDivergedThreshold(t *testing.T) {
+	golden := []float64{1, -2, 1e-20}
+	cases := []struct {
+		got  []float64
+		tol  float64
+		want bool
+	}{
+		// Below tolerance: not contaminated.
+		{[]float64{1 + 1e-12, -2, 1e-20}, 1e-10, false},
+		// Above tolerance.
+		{[]float64{1 + 1e-8, -2, 1e-20}, 1e-10, true},
+		// Near-zero elements compare on the absolute floor (scale 1).
+		{[]float64{1, -2, 1e-12}, 1e-10, false},
+		{[]float64{1, -2, 1e-9}, 1e-10, true},
+		// Relative scaling for large elements.
+		{[]float64{1, -2 - 1e-11, 1e-20}, 1e-10, false},
+		{[]float64{1, -2 - 1e-9, 1e-20}, 1e-10, true},
+	}
+	for i, c := range cases {
+		if got := diverged(c.got, golden, c.tol); got != c.want {
+			t.Fatalf("case %d: diverged = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDivergedNonFiniteAndLength(t *testing.T) {
+	golden := []float64{1, 2}
+	if !diverged([]float64{1, math.NaN()}, golden, 1e-10) {
+		t.Fatal("NaN state not contaminated")
+	}
+	if !diverged([]float64{1, math.Inf(1)}, golden, 1e-10) {
+		t.Fatal("Inf state not contaminated")
+	}
+	if !diverged([]float64{1}, golden, 1e-10) {
+		t.Fatal("length mismatch not contaminated")
+	}
+}
+
+func TestContaminationTolAffectsProfile(t *testing.T) {
+	// Bitwise contamination must count at least as many contaminated ranks
+	// as threshold contamination for the same seed.
+	a := lookup(t, "CG")
+	golden, err := ComputeGolden(a, "S", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(tol float64) float64 {
+		sum, err := RunAgainst(Campaign{
+			App: a, Class: "S", Procs: 4, Trials: 40, Seed: 12,
+			ContaminationTol: tol,
+		}, golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mean contaminated count.
+		var mean float64
+		for x, c := range sum.Hist.Counts {
+			mean += float64(x+1) * float64(c)
+		}
+		return mean / float64(sum.Hist.Total())
+	}
+	bitwise := run(-1)
+	threshold := run(DefaultContaminationTol)
+	if bitwise < threshold {
+		t.Fatalf("bitwise mean contamination %.2f < threshold mean %.2f", bitwise, threshold)
+	}
+}

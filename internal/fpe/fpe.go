@@ -1,0 +1,430 @@
+// Package fpe implements resmod's instrumented floating-point engine — the
+// stand-in for the paper's F-SEFI/QEMU instruction-level fault injector.
+//
+// Every floating-point addition, subtraction, multiplication and division in
+// the benchmark applications flows through a per-rank Ctx.  The Ctx counts
+// dynamic injectable operations (adds/subs/muls, matching the paper's choice
+// of floating-point addition and multiplication instructions) separately for
+// the "common computation" and "parallel-unique computation" region classes
+// (paper Observations 1–2), and executes an injection Plan: at a chosen
+// dynamic operation index it flips one bit of one input operand, exactly the
+// paper's single-bit-flip fault model.
+//
+// A Ctx is owned by a single rank goroutine and is not safe for concurrent
+// use; each rank in a simulated parallel execution gets its own Ctx.
+package fpe
+
+import (
+	"fmt"
+	"math"
+)
+
+// RegionClass classifies computation as common (present in serial execution)
+// or parallel-unique (only present in parallel execution), per the paper's
+// Observation 1.
+type RegionClass int
+
+const (
+	// Common computation happens in serial and in parallel execution.
+	Common RegionClass = iota
+	// Unique computation happens only in parallel execution (halo packing,
+	// transpose staging, ...).
+	Unique
+
+	numClasses
+)
+
+// String returns "common" or "unique".
+func (c RegionClass) String() string {
+	switch c {
+	case Common:
+		return "common"
+	case Unique:
+		return "unique"
+	default:
+		return fmt.Sprintf("RegionClass(%d)", int(c))
+	}
+}
+
+// OpKind identifies the kind of floating point operation an injection hit.
+type OpKind int
+
+// The instrumented operation kinds.  Add, Sub and Mul are injectable
+// (the paper injects into floating point addition and multiplication;
+// subtraction compiles to the same adder datapath).  Div is instrumented
+// for accounting but not injectable.
+const (
+	OpAdd OpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+// String returns the operation mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "fadd"
+	case OpSub:
+		return "fsub"
+	case OpMul:
+		return "fmul"
+	case OpDiv:
+		return "fdiv"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Injection describes one planned fault: at the Index-th dynamic
+// injectable operation within its stream, corrupt input operand Operand
+// (0 or 1).
+//
+// The stream an Index counts over is selected by (Class, KindMask): all
+// injectable operations of the region class when KindMask is zero, or only
+// the operation kinds whose bits are set (1<<OpAdd | ... ) otherwise.
+//
+// The corruption is a single-bit flip of Bit (0 = least significant) when
+// Mask is zero, or an XOR with Mask (multi-bit faults) otherwise.
+type Injection struct {
+	Class    RegionClass
+	KindMask uint8
+	Index    uint64
+	Bit      uint
+	Mask     uint64
+	Operand  int
+}
+
+// corrupt applies the injection's fault to v.
+func (inj Injection) corrupt(v float64) float64 {
+	if inj.Mask != 0 {
+		return math.Float64frombits(math.Float64bits(v) ^ inj.Mask)
+	}
+	return FlipBit(v, inj.Bit)
+}
+
+// matchesKind reports whether the injection's stream includes ops of kind k.
+func (inj Injection) matchesKind(k OpKind) bool {
+	return inj.KindMask == 0 || inj.KindMask&(1<<uint(k)) != 0
+}
+
+// Record describes an injection that actually fired, for logging and
+// mapping the error back to the application level (the paper uses F-SEFI's
+// ability to do the same via pyelftools).
+type Record struct {
+	Injection
+	Op     OpKind
+	Region string
+	Before float64
+	After  float64
+}
+
+// Counts holds dynamic injectable-operation counts per region class.
+type Counts struct {
+	Common uint64
+	Unique uint64
+}
+
+// KindCounts holds dynamic injectable-operation counts broken down by
+// region class and operation kind, for planning kind-restricted
+// injections.
+type KindCounts struct {
+	// ByClassKind[class][kind] counts injectable ops of that kind executed
+	// in that region class (kinds: OpAdd, OpSub, OpMul; OpDiv is not
+	// injectable and stays zero).
+	ByClassKind [numClasses][4]uint64
+}
+
+// Of returns the stream length for (class, kindMask): the total injectable
+// ops of the class when kindMask is zero, else the sum over the selected
+// kinds.
+func (k KindCounts) Of(class RegionClass, kindMask uint8) uint64 {
+	var n uint64
+	for kind := 0; kind < 4; kind++ {
+		if kindMask == 0 || kindMask&(1<<uint(kind)) != 0 {
+			n += k.ByClassKind[class][kind]
+		}
+	}
+	return n
+}
+
+// Counts collapses the kind breakdown into per-class totals.
+func (k KindCounts) Counts() Counts {
+	return Counts{Common: k.Of(Common, 0), Unique: k.Of(Unique, 0)}
+}
+
+// Total returns the total injectable operation count.
+func (c Counts) Total() uint64 { return c.Common + c.Unique }
+
+// Of returns the count for one class.
+func (c Counts) Of(cl RegionClass) uint64 {
+	if cl == Unique {
+		return c.Unique
+	}
+	return c.Common
+}
+
+// UniqueFraction returns the fraction of injectable operations in
+// parallel-unique regions — resmod's analog of the paper's Table 1
+// "percentage of the parallel-unique computation", and the prob2 weight of
+// Eq. 1.  Returns 0 for an empty count.
+func (c Counts) UniqueFraction() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Unique) / float64(t)
+}
+
+// regionFrame is one entry of the named-region stack.
+type regionFrame struct {
+	name  string
+	class RegionClass
+	// prev is the class that was active before this frame.
+	prev RegionClass
+	// snapshot of injectable counters at region entry, for per-region totals.
+	snap [numClasses]uint64
+}
+
+// injGroup is the pending-injection state for one (class, kindMask)
+// stream appearing in the plan.
+type injGroup struct {
+	class    RegionClass
+	kindMask uint8
+	ctr      uint64 // dynamic index within this stream
+	queue    []Injection
+	pos      int
+}
+
+// Ctx is the per-rank instrumented floating point context.
+type Ctx struct {
+	class    RegionClass
+	counters [numClasses]uint64    // injectable ops executed per class
+	kinds    [numClasses][4]uint64 // injectable ops per class and kind
+	divs     uint64                // non-injectable ops (accounting only)
+
+	// groups holds the plan's injections grouped by stream; empty for
+	// clean runs, so the hot path pays only the counter increments.
+	groups []injGroup
+
+	records []Record
+
+	stack        []regionFrame
+	regionTotals map[string]Counts
+}
+
+// New returns a context with no planned injections and the Common class
+// active.
+func New() *Ctx {
+	return &Ctx{regionTotals: make(map[string]Counts)}
+}
+
+// NewWithPlan returns a context that will execute the given injections.
+// The plan slice is copied, grouped by stream, and sorted internally.
+func NewWithPlan(plan []Injection) *Ctx {
+	c := New()
+	for _, inj := range plan {
+		cl := inj.Class
+		if cl != Common && cl != Unique {
+			panic(fmt.Sprintf("fpe: invalid region class %d in plan", int(cl)))
+		}
+		gi := -1
+		for i := range c.groups {
+			if c.groups[i].class == cl && c.groups[i].kindMask == inj.KindMask {
+				gi = i
+				break
+			}
+		}
+		if gi < 0 {
+			c.groups = append(c.groups, injGroup{class: cl, kindMask: inj.KindMask})
+			gi = len(c.groups) - 1
+		}
+		c.groups[gi].queue = append(c.groups[gi].queue, inj)
+	}
+	for i := range c.groups {
+		sortInjections(c.groups[i].queue)
+	}
+	return c
+}
+
+// sortInjections sorts by Index ascending (insertion sort; plans are tiny).
+func sortInjections(q []Injection) {
+	for i := 1; i < len(q); i++ {
+		for j := i; j > 0 && q[j].Index < q[j-1].Index; j-- {
+			q[j], q[j-1] = q[j-1], q[j]
+		}
+	}
+}
+
+// Begin enters a named region of the given class.  Regions nest; End
+// restores the enclosing region's class.  The returned function is the
+// matching End, enabling `defer ctx.Begin("halo", fpe.Unique)()`.
+func (c *Ctx) Begin(name string, class RegionClass) func() {
+	c.stack = append(c.stack, regionFrame{
+		name:  name,
+		class: class,
+		prev:  c.class,
+		snap:  c.counters,
+	})
+	c.class = class
+	return c.End
+}
+
+// End leaves the innermost region.  It panics on unbalanced calls.
+func (c *Ctx) End() {
+	n := len(c.stack)
+	if n == 0 {
+		panic("fpe: End without matching Begin")
+	}
+	f := c.stack[n-1]
+	c.stack = c.stack[:n-1]
+	c.class = f.prev
+	t := c.regionTotals[f.name]
+	t.Common += c.counters[Common] - f.snap[Common]
+	t.Unique += c.counters[Unique] - f.snap[Unique]
+	c.regionTotals[f.name] = t
+}
+
+// Class returns the currently active region class.
+func (c *Ctx) Class() RegionClass { return c.class }
+
+// Counts returns the injectable operation counts accumulated so far.
+func (c *Ctx) Counts() Counts {
+	return Counts{Common: c.counters[Common], Unique: c.counters[Unique]}
+}
+
+// KindCounts returns the per-kind operation breakdown accumulated so far.
+func (c *Ctx) KindCounts() KindCounts {
+	return KindCounts{ByClassKind: c.kinds}
+}
+
+// Divs returns the count of instrumented non-injectable operations.
+func (c *Ctx) Divs() uint64 { return c.divs }
+
+// RegionCounts returns per-named-region injectable operation counts.
+// Only fully closed region instances are included.
+func (c *Ctx) RegionCounts() map[string]Counts {
+	out := make(map[string]Counts, len(c.regionTotals))
+	for k, v := range c.regionTotals {
+		out[k] = v
+	}
+	return out
+}
+
+// Records returns the injections that fired during execution.
+func (c *Ctx) Records() []Record { return c.records }
+
+// Fired reports how many planned injections have fired so far.
+func (c *Ctx) Fired() int { return len(c.records) }
+
+// Pending reports how many planned injections have not fired yet.
+func (c *Ctx) Pending() int {
+	n := 0
+	for i := range c.groups {
+		n += len(c.groups[i].queue) - c.groups[i].pos
+	}
+	return n
+}
+
+// maybeInject advances the stream counters for the active class and, if an
+// injection is due at this dynamic index of any planned stream, corrupts
+// the operands.
+func (c *Ctx) maybeInject(op OpKind, a, b float64) (float64, float64) {
+	cl := c.class
+	c.counters[cl]++
+	c.kinds[cl][op]++
+	for gi := range c.groups {
+		g := &c.groups[gi]
+		if g.class != cl || (g.kindMask != 0 && g.kindMask&(1<<uint(op)) == 0) {
+			continue
+		}
+		idx := g.ctr
+		g.ctr = idx + 1
+		// Multiple injections may share an index (distinct faults); fire
+		// them all.
+		for g.pos < len(g.queue) && g.queue[g.pos].Index == idx {
+			inj := g.queue[g.pos]
+			g.pos++
+			var before, after float64
+			if inj.Operand == 0 {
+				before = a
+				a = inj.corrupt(a)
+				after = a
+			} else {
+				before = b
+				b = inj.corrupt(b)
+				after = b
+			}
+			name := ""
+			if len(c.stack) > 0 {
+				name = c.stack[len(c.stack)-1].name
+			}
+			c.records = append(c.records, Record{
+				Injection: inj, Op: op, Region: name, Before: before, After: after,
+			})
+		}
+	}
+	return a, b
+}
+
+// Add computes a+b through the instrumented datapath.
+func (c *Ctx) Add(a, b float64) float64 {
+	a, b = c.maybeInject(OpAdd, a, b)
+	return a + b
+}
+
+// Sub computes a-b through the instrumented datapath.
+func (c *Ctx) Sub(a, b float64) float64 {
+	a, b = c.maybeInject(OpSub, a, b)
+	return a - b
+}
+
+// Mul computes a*b through the instrumented datapath.
+func (c *Ctx) Mul(a, b float64) float64 {
+	a, b = c.maybeInject(OpMul, a, b)
+	return a * b
+}
+
+// Div computes a/b.  Division is instrumented for accounting but is not an
+// injection target (the paper injects into adds and muls only).
+func (c *Ctx) Div(a, b float64) float64 {
+	c.divs++
+	return a / b
+}
+
+// FMA computes a*b+x as one mul and one add through the datapath.
+func (c *Ctx) FMA(a, b, x float64) float64 {
+	return c.Add(c.Mul(a, b), x)
+}
+
+// Dot accumulates the instrumented dot product of x and y.
+// It panics if the lengths differ.
+func (c *Ctx) Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("fpe: Dot length mismatch")
+	}
+	var s float64
+	for i := range x {
+		s = c.Add(s, c.Mul(x[i], y[i]))
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x element-wise through the datapath.
+func (c *Ctx) Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("fpe: Axpy length mismatch")
+	}
+	for i := range x {
+		y[i] = c.Add(y[i], c.Mul(alpha, x[i]))
+	}
+}
+
+// FlipBit returns f with bit `bit` (0..63) of its IEEE-754 representation
+// inverted.
+func FlipBit(f float64, bit uint) float64 {
+	if bit > 63 {
+		panic(fmt.Sprintf("fpe: bit %d out of range", bit))
+	}
+	return math.Float64frombits(math.Float64bits(f) ^ (1 << bit))
+}

@@ -1,0 +1,219 @@
+package fpe
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"resmod/internal/stats"
+)
+
+func TestKindCountsAccumulate(t *testing.T) {
+	c := New()
+	c.Add(1, 1)
+	c.Add(1, 1)
+	c.Sub(1, 1)
+	c.Mul(1, 1)
+	end := c.Begin("u", Unique)
+	c.Mul(2, 2)
+	end()
+	kc := c.KindCounts()
+	if kc.ByClassKind[Common][OpAdd] != 2 || kc.ByClassKind[Common][OpSub] != 1 ||
+		kc.ByClassKind[Common][OpMul] != 1 || kc.ByClassKind[Unique][OpMul] != 1 {
+		t.Fatalf("kind counts = %+v", kc)
+	}
+	if kc.Of(Common, 0) != 4 {
+		t.Fatalf("Of(Common, 0) = %d", kc.Of(Common, 0))
+	}
+	if kc.Of(Common, 1<<OpMul) != 1 {
+		t.Fatalf("Of(Common, mul) = %d", kc.Of(Common, 1<<OpMul))
+	}
+	if kc.Counts() != (Counts{Common: 4, Unique: 1}) {
+		t.Fatalf("Counts() = %+v", kc.Counts())
+	}
+}
+
+func TestKindRestrictedInjectionTargetsKindStream(t *testing.T) {
+	// Plan: corrupt the 2nd dynamic MUL (index 1 in the mul stream), sign
+	// bit.  Adds in between must not advance the mul stream.
+	c := NewWithPlan([]Injection{{
+		Class: Common, KindMask: 1 << OpMul, Index: 1, Bit: 63, Operand: 0,
+	}})
+	c.Mul(3, 1) // mul stream index 0
+	c.Add(1, 1) // not counted in the mul stream
+	c.Add(2, 2)
+	got := c.Mul(5, 1) // mul stream index 1: corrupt first operand
+	if got != -5 {
+		t.Fatalf("kind-restricted injection = %g, want -5", got)
+	}
+	if c.Fired() != 1 {
+		t.Fatalf("fired = %d", c.Fired())
+	}
+}
+
+func TestMaskCorruption(t *testing.T) {
+	// XOR mask flipping sign and mantissa bit 51 of 1.0 -> -1.5.
+	c := NewWithPlan([]Injection{{
+		Class: Common, Index: 0, Mask: 1<<63 | 1<<51, Operand: 0,
+	}})
+	if got := c.Add(1, 0); got != -1.5 {
+		t.Fatalf("mask corruption = %g, want -1.5", got)
+	}
+}
+
+func TestMixedStreamsFireIndependently(t *testing.T) {
+	// One any-kind injection and one mul-only injection, both at stream
+	// index 1 of their respective streams.
+	c := NewWithPlan([]Injection{
+		{Class: Common, Index: 1, Bit: 63, Operand: 0},
+		{Class: Common, KindMask: 1 << OpMul, Index: 1, Bit: 63, Operand: 0},
+	})
+	c.Add(1, 0)         // any stream 0
+	got1 := c.Add(2, 0) // any stream 1 -> fires: -2
+	c.Mul(1, 1)         // mul stream 0 (any stream 2)
+	got2 := c.Mul(3, 1) // mul stream 1 -> fires: -3
+	if got1 != -2 || got2 != -3 {
+		t.Fatalf("got %g, %g; want -2, -3", got1, got2)
+	}
+	if c.Fired() != 2 || c.Pending() != 0 {
+		t.Fatalf("fired=%d pending=%d", c.Fired(), c.Pending())
+	}
+}
+
+func TestDrawWithPatterns(t *testing.T) {
+	rng := stats.NewRNG(1)
+	var kc KindCounts
+	kc.ByClassKind[Common][OpAdd] = 1000
+	cases := []struct {
+		pattern  Pattern
+		wantBits func(mask uint64) bool
+	}{
+		{SingleBit, func(m uint64) bool { return m == 0 }},
+		{DoubleBit, func(m uint64) bool { return bits.OnesCount64(m) == 2 }},
+		{Burst4, func(m uint64) bool {
+			return bits.OnesCount64(m) == 4 && m>>bits.TrailingZeros64(m) == 0xF
+		}},
+		{WordRandom, func(m uint64) bool { return m != 0 }},
+	}
+	for _, cse := range cases {
+		for i := 0; i < 50; i++ {
+			plan, err := DrawWith(rng, kc, Common, 1, DrawOpts{Pattern: cse.pattern})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cse.wantBits(plan[0].Mask) {
+				t.Fatalf("%v: bad mask %#x", cse.pattern, plan[0].Mask)
+			}
+		}
+	}
+}
+
+func TestDrawWithFixedBit(t *testing.T) {
+	rng := stats.NewRNG(2)
+	var kc KindCounts
+	kc.ByClassKind[Common][OpAdd] = 100
+	bit := uint(62)
+	for i := 0; i < 20; i++ {
+		plan, err := DrawWith(rng, kc, Common, 1, DrawOpts{FixedBit: &bit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan[0].Bit != 62 || plan[0].Mask != 0 {
+			t.Fatalf("fixed bit not honored: %+v", plan[0])
+		}
+	}
+}
+
+func TestDrawWithWindow(t *testing.T) {
+	rng := stats.NewRNG(3)
+	var kc KindCounts
+	kc.ByClassKind[Common][OpAdd] = 1000
+	win := [2]float64{0.5, 0.75}
+	for i := 0; i < 100; i++ {
+		plan, err := DrawWith(rng, kc, Common, 1, DrawOpts{Window: &win})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan[0].Index < 500 || plan[0].Index >= 750 {
+			t.Fatalf("index %d outside window [500, 750)", plan[0].Index)
+		}
+	}
+	bad := [2]float64{0.9, 0.1}
+	if _, err := DrawWith(rng, kc, Common, 1, DrawOpts{Window: &bad}); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+}
+
+func TestDrawWithKindMaskIndexRange(t *testing.T) {
+	rng := stats.NewRNG(4)
+	var kc KindCounts
+	kc.ByClassKind[Common][OpAdd] = 1000
+	kc.ByClassKind[Common][OpMul] = 10
+	for i := 0; i < 50; i++ {
+		plan, err := DrawWith(rng, kc, Common, 1, DrawOpts{KindMask: 1 << OpMul})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan[0].Index >= 10 || plan[0].KindMask != 1<<OpMul {
+			t.Fatalf("mul-stream index out of range: %+v", plan[0])
+		}
+	}
+}
+
+func TestDrawAnyRegionWithWindowAndKinds(t *testing.T) {
+	rng := stats.NewRNG(5)
+	var kc KindCounts
+	kc.ByClassKind[Common][OpMul] = 800
+	kc.ByClassKind[Unique][OpMul] = 200
+	kc.ByClassKind[Common][OpAdd] = 5000 // excluded by the mask
+	win := [2]float64{0, 0.5}
+	uniqueHits := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		plan, err := DrawAnyRegionWith(rng, kc, DrawOpts{KindMask: 1 << OpMul, Window: &win})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj := plan[0]
+		switch inj.Class {
+		case Common:
+			if inj.Index >= 400 {
+				t.Fatalf("common index %d outside windowed mul stream", inj.Index)
+			}
+		case Unique:
+			if inj.Index >= 100 {
+				t.Fatalf("unique index %d outside windowed mul stream", inj.Index)
+			}
+			uniqueHits++
+		}
+	}
+	frac := float64(uniqueHits) / trials
+	if math.Abs(frac-0.2) > 0.03 {
+		t.Fatalf("unique fraction %g, want ~0.2 (mask must exclude adds)", frac)
+	}
+}
+
+// Property: every drawn plan, when executed against a long enough op
+// stream, fires exactly k times.
+func TestDrawnPlansAlwaysFire(t *testing.T) {
+	f := func(seed uint64, kRaw, patRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		pattern := Pattern(int(patRaw) % 4)
+		rng := stats.NewRNG(seed)
+		var kc KindCounts
+		kc.ByClassKind[Common][OpAdd] = 200
+		plan, err := DrawWith(rng, kc, Common, k, DrawOpts{Pattern: pattern})
+		if err != nil {
+			return false
+		}
+		c := NewWithPlan(plan)
+		for i := 0; i < 200; i++ {
+			c.Add(float64(i), 1)
+		}
+		return c.Fired() == k && c.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

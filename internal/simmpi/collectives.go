@@ -1,0 +1,184 @@
+package simmpi
+
+import "fmt"
+
+// Collective tags live in a reserved space far above application tags so
+// user point-to-point traffic can never be confused with collective
+// traffic.  Each collective call site uses a distinct base tag; repeated
+// collectives of the same kind are disambiguated by the per-source FIFO
+// ordering that the transport guarantees.
+const (
+	tagBarrier = 1 << 20
+	tagBcast   = 2 << 20
+	tagReduce  = 3 << 20
+	tagGather  = 4 << 20
+	tagScatter = 5 << 20
+	tagA2A     = 6 << 20
+	tagAllgat  = 7 << 20
+)
+
+// Barrier blocks until every rank has entered it (dissemination algorithm,
+// ceil(log2 p) rounds).
+func (c *Comm) Barrier() {
+	for k, round := 1, 0; k < c.size; k, round = k<<1, round+1 {
+		dst := (c.rank + k) % c.size
+		src := (c.rank - k + c.size) % c.size
+		c.Send(dst, tagBarrier+round, nil)
+		c.Recv(src, tagBarrier+round)
+	}
+}
+
+// Bcast distributes root's data to every rank along a binomial tree and
+// returns each rank's copy.  Non-root callers pass their (ignored) local
+// slice or nil; the broadcast payload is returned.
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	c.checkPeer(root, "Bcast")
+	if c.size == 1 {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		return cp
+	}
+	// Work in the rotated space where root is virtual rank 0.
+	vrank := (c.rank - root + c.size) % c.size
+	var buf []float64
+	if vrank == 0 {
+		buf = make([]float64, len(data))
+		copy(buf, data)
+	} else {
+		// Parent: clear the lowest set bit of vrank.
+		parent := (vrank&(vrank-1) + root) % c.size
+		buf = c.Recv(parent, tagBcast)
+	}
+	for _, child := range bcastChildren(vrank, c.size) {
+		c.Send((child+root)%c.size, tagBcast, buf)
+	}
+	return buf
+}
+
+// bcastChildren enumerates the binomial-tree children of a virtual rank:
+// vrank | 1<<k for every k below the position of vrank's lowest set bit
+// (all k for the root).  The enumeration order fixes the deterministic
+// reduction order used by Reduce.
+func bcastChildren(vrank, size int) []int {
+	var kids []int
+	limit := 0
+	if vrank != 0 {
+		for vrank&(1<<limit) == 0 {
+			limit++
+		}
+	} else {
+		limit = 31
+	}
+	for k := 0; k < limit; k++ {
+		child := vrank | (1 << k)
+		if child != vrank && child < size {
+			kids = append(kids, child)
+		}
+	}
+	return kids
+}
+
+// Reduce folds every rank's data element-wise with op into root and returns
+// the result on root (nil elsewhere).  The fold order is fixed by the
+// binomial tree, so results are bit-for-bit deterministic for a given size.
+func (c *Comm) Reduce(root int, op Op, data []float64) []float64 {
+	c.checkPeer(root, "Reduce")
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	if c.size == 1 {
+		return acc
+	}
+	vrank := (c.rank - root + c.size) % c.size
+	// Receive from children in ascending bit order, fold, then send to parent.
+	for _, child := range bcastChildren(vrank, c.size) {
+		msg := c.Recv((child+root)%c.size, tagReduce)
+		op.apply(acc, msg)
+	}
+	if vrank != 0 {
+		parent := (vrank&(vrank-1) + root) % c.size
+		c.Send(parent, tagReduce, acc)
+		return nil
+	}
+	return acc
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast, guaranteeing that every
+// rank observes the identical (bit-for-bit) reduced vector.
+func (c *Comm) Allreduce(op Op, data []float64) []float64 {
+	red := c.Reduce(0, op, data)
+	return c.Bcast(0, red)
+}
+
+// AllreduceValue reduces a single scalar.
+func (c *Comm) AllreduceValue(op Op, v float64) float64 {
+	return c.Allreduce(op, []float64{v})[0]
+}
+
+// Gather collects each rank's equal-length contribution on root, ordered by
+// rank.  It returns the concatenation on root and nil elsewhere.
+func (c *Comm) Gather(root int, data []float64) []float64 {
+	c.checkPeer(root, "Gather")
+	if c.rank != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([]float64, 0, len(data)*c.size)
+	for r := 0; r < c.size; r++ {
+		if r == root {
+			out = append(out, data...)
+		} else {
+			out = append(out, c.Recv(r, tagGather)...)
+		}
+	}
+	return out
+}
+
+// Allgather is Gather to rank 0 followed by Bcast.
+func (c *Comm) Allgather(data []float64) []float64 {
+	g := c.Gather(0, data)
+	return c.Bcast(0, g)
+}
+
+// Scatter splits root's data into size equal chunks and delivers chunk r to
+// rank r.  It panics if len(data) on root is not divisible by size.
+func (c *Comm) Scatter(root int, data []float64) []float64 {
+	c.checkPeer(root, "Scatter")
+	if c.rank == root {
+		if len(data)%c.size != 0 {
+			panic(fmt.Sprintf("simmpi: Scatter: %d values not divisible by %d ranks",
+				len(data), c.size))
+		}
+		n := len(data) / c.size
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				continue
+			}
+			c.Send(r, tagScatter, data[r*n:(r+1)*n])
+		}
+		out := make([]float64, n)
+		copy(out, data[root*n:(root+1)*n])
+		return out
+	}
+	return c.Recv(root, tagScatter)
+}
+
+// Alltoall performs a complete exchange: send[r] goes to rank r, and the
+// returned slice holds recv[r] from each rank r.  The shifted-pairwise
+// schedule (step k pairs rank with rank±k) avoids hot spots and is
+// deterministic.
+func (c *Comm) Alltoall(send [][]float64) [][]float64 {
+	if len(send) != c.size {
+		panic(fmt.Sprintf("simmpi: Alltoall: %d buffers for %d ranks", len(send), c.size))
+	}
+	recv := make([][]float64, c.size)
+	// Self-exchange without touching the network.
+	self := make([]float64, len(send[c.rank]))
+	copy(self, send[c.rank])
+	recv[c.rank] = self
+	for k := 1; k < c.size; k++ {
+		dst := (c.rank + k) % c.size
+		src := (c.rank - k + c.size) % c.size
+		recv[src] = c.Sendrecv(dst, tagA2A+k, send[dst], src, tagA2A+k)
+	}
+	return recv
+}

@@ -1,0 +1,128 @@
+package simmpi
+
+import "fmt"
+
+// Comm is a rank's handle on a communicator — the analog of an MPI
+// communicator handle.  The root communicator spans the world
+// (MPI_COMM_WORLD); Split derives sub-communicators that renumber ranks
+// and isolate their traffic in a private tag space.  A Comm is owned by
+// its rank goroutine and must not be shared between goroutines.
+type Comm struct {
+	w    *world
+	rank int
+	size int
+	// pending[worldSrc] buffers messages whose tag did not match an
+	// in-flight Recv.  The store is shared between a rank's root
+	// communicator and all its Split-derived communicators: tags are
+	// disjoint per communicator, so sharing preserves isolation while
+	// letting interleaved parent/child traffic buffer correctly.
+	pending *[][]message
+
+	// Sub-communicator state (nil/zero on the root communicator).
+	parent   *Comm
+	members  []int // world... parent ranks of this group, by new rank
+	tagShift int
+}
+
+// newRootComm builds the world communicator handle for one rank.
+func newRootComm(w *world, rank int) *Comm {
+	pending := make([][]message, w.size)
+	return &Comm{w: w, rank: rank, size: w.size, pending: &pending}
+}
+
+// Rank returns this rank's id in [0, Size) within this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int { return c.size }
+
+// checkPeer panics (via the world abort path) on an invalid peer rank;
+// this is a programming error in the application, reported eagerly.
+func (c *Comm) checkPeer(peer int, op string) {
+	if peer < 0 || peer >= c.size {
+		panic(fmt.Sprintf("simmpi: %s: peer rank %d out of range [0,%d)", op, peer, c.size))
+	}
+}
+
+// checkAbort raises the abort sentinel if the world has failed.
+func (c *Comm) checkAbort() {
+	select {
+	case <-c.w.abort:
+		panic(abortPanic{})
+	default:
+	}
+}
+
+// worldRank returns this rank's id in the world communicator.
+func (c *Comm) worldRank() int {
+	r, _ := c.translate(c.rank, 0)
+	return r
+}
+
+// Send delivers a copy of data to dst with the given tag.  It blocks only
+// when the destination's channel buffer is full (backpressure).  Sending to
+// oneself is allowed (buffered).
+func (c *Comm) Send(dst, tag int, data []float64) {
+	c.checkPeer(dst, "Send")
+	c.checkAbort()
+	wdst, wtag := c.translate(dst, tag)
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	ch := c.w.chans[wdst*c.w.size+c.worldRank()]
+	select {
+	case ch <- message{tag: wtag, data: cp}:
+		c.w.msgCount.Add(1)
+		c.w.msgFloats.Add(uint64(len(cp)))
+	case <-c.w.abort:
+		panic(abortPanic{})
+	}
+}
+
+// Recv blocks until a message with the given tag arrives from src and
+// returns its payload.  Messages from the same source with other tags are
+// buffered and stay available for later Recv calls (including on other
+// communicators of this rank), preserving per-source order within each
+// tag.
+func (c *Comm) Recv(src, tag int) []float64 {
+	c.checkPeer(src, "Recv")
+	wsrc, wtag := c.translate(src, tag)
+	// First look in the rank's shared pending buffer.
+	buf := (*c.pending)[wsrc]
+	for i, m := range buf {
+		if m.tag == wtag {
+			(*c.pending)[wsrc] = append(buf[:i], buf[i+1:]...)
+			return m.data
+		}
+	}
+	ch := c.w.chans[c.worldRank()*c.w.size+wsrc]
+	for {
+		select {
+		case m := <-ch:
+			if m.tag == wtag {
+				return m.data
+			}
+			(*c.pending)[wsrc] = append((*c.pending)[wsrc], m)
+		case <-c.w.abort:
+			panic(abortPanic{})
+		}
+	}
+}
+
+// Sendrecv sends sendData to dst with sendTag and receives a message with
+// recvTag from src, in a deadlock-free way (the send buffers).
+func (c *Comm) Sendrecv(dst, sendTag int, sendData []float64, src, recvTag int) []float64 {
+	c.Send(dst, sendTag, sendData)
+	return c.Recv(src, recvTag)
+}
+
+// SendValue sends a single-scalar message.
+func (c *Comm) SendValue(dst, tag int, v float64) { c.Send(dst, tag, []float64{v}) }
+
+// RecvValue receives a single-scalar message.
+func (c *Comm) RecvValue(src, tag int) float64 {
+	d := c.Recv(src, tag)
+	if len(d) != 1 {
+		panic(fmt.Sprintf("simmpi: RecvValue: message has %d values", len(d)))
+	}
+	return d[0]
+}

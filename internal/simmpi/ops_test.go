@@ -1,0 +1,88 @@
+package simmpi
+
+import "testing"
+
+func TestOpStrings(t *testing.T) {
+	cases := map[Op]string{
+		OpSum: "sum", OpMax: "max", OpMin: "min", OpProd: "prod", Op(99): "Op(99)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestOpProdApply(t *testing.T) {
+	dst := []float64{2, 3}
+	(OpProd).apply(dst, []float64{4, 5})
+	if dst[0] != 8 || dst[1] != 15 {
+		t.Fatalf("prod = %v", dst)
+	}
+}
+
+func TestApplyLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched reduction lengths")
+		}
+	}()
+	(OpSum).apply([]float64{1}, []float64{1, 2})
+}
+
+func TestUnknownOpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unknown op")
+		}
+	}()
+	Op(42).apply([]float64{1}, []float64{1})
+}
+
+func TestAllreduceProd(t *testing.T) {
+	runOrFatal(t, 4, func(c *Comm) error {
+		got := c.AllreduceValue(OpProd, float64(c.Rank()+1))
+		if got != 24 {
+			t.Errorf("prod allreduce = %g", got)
+		}
+		return nil
+	})
+}
+
+func TestScatterIndivisiblePanicsToFailure(t *testing.T) {
+	_, err := Run(Config{Procs: 2}, func(c *Comm) error {
+		var data []float64
+		if c.Rank() == 0 {
+			data = []float64{1, 2, 3} // not divisible by 2
+		}
+		c.Scatter(0, data)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("indivisible scatter succeeded")
+	}
+}
+
+func TestRecvValueWrongShapePanics(t *testing.T) {
+	_, err := Run(Config{Procs: 2}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{1, 2})
+		} else {
+			c.RecvValue(0, 1)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("RecvValue accepted a 2-element message")
+	}
+}
+
+func TestBadPeerPanicsToFailure(t *testing.T) {
+	_, err := Run(Config{Procs: 2}, func(c *Comm) error {
+		c.Send(5, 1, nil) // out of range
+		return nil
+	})
+	if err == nil {
+		t.Fatal("out-of-range peer accepted")
+	}
+}

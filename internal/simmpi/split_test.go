@@ -1,0 +1,135 @@
+package simmpi
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSplitRowsAndColumns(t *testing.T) {
+	// 2x3 grid: split by row color and by column color; check ranks,
+	// sizes, and independent allreduces.
+	const rows, cols = 2, 3
+	runOrFatal(t, rows*cols, func(c *Comm) error {
+		myRow := c.Rank() / cols
+		myCol := c.Rank() % cols
+		rowComm := c.Split(myRow, myCol)
+		colComm := c.Split(myCol, myRow)
+		if rowComm.Size() != cols || rowComm.Rank() != myCol {
+			t.Errorf("rank %d: rowComm rank/size = %d/%d", c.Rank(), rowComm.Rank(), rowComm.Size())
+		}
+		if colComm.Size() != rows || colComm.Rank() != myRow {
+			t.Errorf("rank %d: colComm rank/size = %d/%d", c.Rank(), colComm.Rank(), colComm.Size())
+		}
+		// Row sum of world ranks: row 0 -> 0+1+2=3, row 1 -> 3+4+5=12.
+		rowSum := rowComm.AllreduceValue(OpSum, float64(c.Rank()))
+		wantRow := []float64{3, 12}[myRow]
+		if rowSum != wantRow {
+			t.Errorf("rank %d: row sum = %g, want %g", c.Rank(), rowSum, wantRow)
+		}
+		// Column sums: col j -> j + (j+3).
+		colSum := colComm.AllreduceValue(OpSum, float64(c.Rank()))
+		wantCol := float64(myCol + myCol + 3)
+		if colSum != wantCol {
+			t.Errorf("rank %d: col sum = %g, want %g", c.Rank(), colSum, wantCol)
+		}
+		return nil
+	})
+}
+
+func TestSplitKeyOrdersRanks(t *testing.T) {
+	// All ranks share one color; keys reverse the order.
+	const p = 5
+	runOrFatal(t, p, func(c *Comm) error {
+		sub := c.Split(0, -c.Rank())
+		if want := p - 1 - c.Rank(); sub.Rank() != want {
+			t.Errorf("rank %d: sub rank = %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+		// Broadcast from sub-rank 0 (= world rank p-1).
+		var payload []float64
+		if sub.Rank() == 0 {
+			payload = []float64{42}
+		}
+		got := sub.Bcast(0, payload)
+		if got[0] != 42 {
+			t.Errorf("rank %d: bcast got %v", c.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestSplitIsolatesTraffic(t *testing.T) {
+	// Point-to-point with identical (peer, tag) on the parent and a child
+	// must not cross: the child's tag space is disjoint.
+	runOrFatal(t, 2, func(c *Comm) error {
+		sub := c.Split(0, c.Rank())
+		if c.Rank() == 0 {
+			c.SendValue(1, 7, 111)   // parent message
+			sub.SendValue(1, 7, 222) // child message, same tag
+		} else {
+			// Receive in the opposite order to force buffering.
+			if v := sub.RecvValue(0, 7); v != 222 {
+				t.Errorf("sub recv = %v", v)
+			}
+			if v := c.RecvValue(0, 7); v != 111 {
+				t.Errorf("parent recv = %v", v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestNestedSplit(t *testing.T) {
+	// Split 8 ranks into two halves, then each half into two pairs.
+	runOrFatal(t, 8, func(c *Comm) error {
+		half := c.Split(c.Rank()/4, c.Rank())
+		pair := half.Split(half.Rank()/2, half.Rank())
+		if pair.Size() != 2 {
+			t.Errorf("pair size = %d", pair.Size())
+		}
+		sum := pair.AllreduceValue(OpSum, float64(c.Rank()))
+		// Pairs are (0,1)(2,3)(4,5)(6,7): sum = 4*floor(rank/2)+1.
+		want := float64(4*(c.Rank()/2) + 1)
+		if sum != want {
+			t.Errorf("rank %d: pair sum = %g, want %g", c.Rank(), sum, want)
+		}
+		return nil
+	})
+}
+
+func TestSplitSingleton(t *testing.T) {
+	// Every rank its own color: size-1 communicators.
+	runOrFatal(t, 3, func(c *Comm) error {
+		solo := c.Split(c.Rank(), 0)
+		if solo.Size() != 1 || solo.Rank() != 0 {
+			t.Errorf("solo = %d/%d", solo.Rank(), solo.Size())
+		}
+		if v := solo.AllreduceValue(OpSum, 5); v != 5 {
+			t.Errorf("solo allreduce = %g", v)
+		}
+		return nil
+	})
+}
+
+func TestSplitDeterministicReduction(t *testing.T) {
+	// Sub-communicator reductions are bit-deterministic too.
+	run := func() uint64 {
+		var bits uint64
+		_, err := Run(Config{Procs: 6, Timeout: 10 * time.Second}, func(c *Comm) error {
+			sub := c.Split(c.Rank()%2, c.Rank())
+			v := 1.0 / float64(c.Rank()+2)
+			got := sub.AllreduceValue(OpSum, v)
+			if c.Rank() == 0 {
+				bits = math.Float64bits(got)
+			}
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		return bits
+	}
+	if run() != run() {
+		t.Fatal("sub-communicator reduction not deterministic")
+	}
+}

@@ -1,0 +1,183 @@
+// Package simmpi is resmod's in-process message-passing runtime — the
+// stand-in for MPI in the paper's testbed.  A parallel execution of p ranks
+// is p goroutines, each holding a Comm handle.  Point-to-point messages are
+// delivered over per-(source,destination) channels with tag matching;
+// collectives (Barrier, Bcast, Reduce, Allreduce, Allgather, Alltoall,
+// Gather, Scatter) are built from point-to-point messages using the classic
+// binomial-tree and shifted-pairwise algorithms, giving a fixed, size-only-
+// dependent reduction order so that every execution at a given scale is
+// bit-for-bit deterministic.  Determinism is what makes the fault-injection
+// harness able to detect rank contamination by exact state comparison.
+//
+// Fault containment: if any rank panics, returns an error, or the world's
+// watchdog expires (a hang), the whole world aborts; every rank blocked in
+// a communication call is released.  Communication calls signal the abort
+// by panicking with an internal sentinel that Run translates back into an
+// error, so application code can be written without per-call error plumbing
+// — the style real MPI codes use (MPI_Abort semantics).
+package simmpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config configures a simulated world.
+type Config struct {
+	// Procs is the number of ranks (>= 1).
+	Procs int
+	// ChanCap is the per-(src,dst) channel buffer capacity; messages beyond
+	// it apply backpressure like MPI's rendezvous protocol.  Defaults to 256.
+	ChanCap int
+	// Timeout aborts the world if the program has not finished in time — the
+	// harness's hang detector.  Zero means no watchdog.
+	Timeout time.Duration
+}
+
+// Common world errors.
+var (
+	// ErrTimeout reports that the watchdog fired: the execution hung.
+	ErrTimeout = errors.New("simmpi: world timed out (hang)")
+	// ErrAborted reports that a communication call was interrupted because
+	// another rank failed first.
+	ErrAborted = errors.New("simmpi: world aborted")
+)
+
+// RankError wraps an error returned by a rank's function.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankError) Error() string { return fmt.Sprintf("simmpi: rank %d: %v", e.Rank, e.Err) }
+
+// Unwrap exposes the underlying rank error.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// PanicError wraps a panic raised inside a rank's function — the harness
+// classifies it as an application crash (the paper's "Failure" outcome).
+type PanicError struct {
+	Rank  int
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("simmpi: rank %d panicked: %v", e.Rank, e.Value)
+}
+
+// message is one point-to-point payload.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// world is the shared state of one simulated execution.
+type world struct {
+	size    int
+	chans   []chan message // chans[dst*size+src]
+	abort   chan struct{}
+	once    sync.Once
+	failure atomic.Pointer[worldFailure]
+
+	// msgCount and msgFloats are communication-volume statistics.
+	msgCount  atomic.Uint64
+	msgFloats atomic.Uint64
+}
+
+type worldFailure struct{ err error }
+
+// fail records the first failure and releases every blocked rank.
+func (w *world) fail(err error) {
+	w.once.Do(func() {
+		w.failure.Store(&worldFailure{err: err})
+		close(w.abort)
+	})
+}
+
+// err returns the recorded failure, if any.
+func (w *world) err() error {
+	if f := w.failure.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// abortPanic is the sentinel communication calls raise when the world has
+// aborted; Run translates it into ErrAborted for the affected rank.
+type abortPanic struct{}
+
+// Stats reports communication volume for a finished world.
+type Stats struct {
+	// Messages is the number of point-to-point messages delivered
+	// (collectives included, since they are built from point-to-point).
+	Messages uint64
+	// Floats is the total number of float64 values carried.
+	Floats uint64
+}
+
+// Run executes fn on every rank of a freshly created world and waits for
+// all ranks to finish.  It returns the first failure: a *PanicError if a
+// rank panicked, ErrTimeout if the watchdog fired, or a *RankError wrapping
+// the first non-nil error returned by fn.  On success it returns nil.
+func Run(cfg Config, fn func(c *Comm) error) (Stats, error) {
+	if cfg.Procs < 1 {
+		return Stats{}, fmt.Errorf("simmpi: Procs must be >= 1, got %d", cfg.Procs)
+	}
+	cap := cfg.ChanCap
+	if cap <= 0 {
+		cap = 256
+	}
+	w := &world{
+		size:  cfg.Procs,
+		chans: make([]chan message, cfg.Procs*cfg.Procs),
+		abort: make(chan struct{}),
+	}
+	for i := range w.chans {
+		w.chans[i] = make(chan message, cap)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(cfg.Procs)
+	for r := 0; r < cfg.Procs; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			comm := newRootComm(w, rank)
+			defer func() {
+				if v := recover(); v != nil {
+					if _, isAbort := v.(abortPanic); isAbort {
+						return // world already failed; nothing to add
+					}
+					w.fail(&PanicError{Rank: rank, Value: v})
+				}
+			}()
+			if err := fn(comm); err != nil {
+				w.fail(&RankError{Rank: rank, Err: err})
+			}
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	if cfg.Timeout > 0 {
+		timer := time.NewTimer(cfg.Timeout)
+		defer timer.Stop()
+		select {
+		case <-done:
+		case <-timer.C:
+			w.fail(ErrTimeout)
+			<-done
+		}
+	} else {
+		<-done
+	}
+
+	stats := Stats{Messages: w.msgCount.Load(), Floats: w.msgFloats.Load()}
+	return stats, w.err()
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Hist is a histogram over "number of contaminated MPI processes": bin x
+// (1-based) counts the fault injection tests in which exactly x ranks were
+// contaminated.  It is the data structure behind the paper's Figures 1–2
+// and the r_x probabilities of the model (Eq. 3).
+type Hist struct {
+	// Counts[x-1] is the number of trials with x contaminated ranks.
+	Counts []uint64
+}
+
+// NewHist returns an empty histogram for executions with p ranks.
+func NewHist(p int) *Hist {
+	if p <= 0 {
+		panic("stats: NewHist requires p > 0")
+	}
+	return &Hist{Counts: make([]uint64, p)}
+}
+
+// Add records one trial with x contaminated ranks.  Trials with zero
+// contaminated ranks (fully masked errors that also left the injected rank's
+// final state intact) are recorded in bin 1, matching the paper's profiling
+// which attributes every test to at least the injected rank.
+func (h *Hist) Add(x int) {
+	if x < 1 {
+		x = 1
+	}
+	if x > len(h.Counts) {
+		x = len(h.Counts)
+	}
+	h.Counts[x-1]++
+}
+
+// P returns the number of ranks the histogram covers.
+func (h *Hist) P() int { return len(h.Counts) }
+
+// Total returns the number of recorded trials.
+func (h *Hist) Total() uint64 {
+	var t uint64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Probabilities returns r_x for x = 1..p as a vector of length p
+// (paper Eq. 3): the fraction of trials with exactly x contaminated ranks.
+// For an empty histogram it returns all zeros.
+func (h *Hist) Probabilities() []float64 {
+	p := make([]float64, len(h.Counts))
+	t := h.Total()
+	if t == 0 {
+		return p
+	}
+	for i, c := range h.Counts {
+		p[i] = float64(c) / float64(t)
+	}
+	return p
+}
+
+// ErrGroup is returned by Group when the histogram length is not divisible
+// by the requested number of groups.
+var ErrGroup = errors.New("stats: histogram length not divisible by group count")
+
+// Group aggregates the histogram's p bins into g equal consecutive groups
+// and returns the g aggregated probabilities.  This is the transformation
+// of paper Figures 1c/2c: 64 propagation cases split into 8 groups so they
+// can be compared against an 8-rank histogram.
+func (h *Hist) Group(g int) ([]float64, error) {
+	p := len(h.Counts)
+	if g <= 0 || p%g != 0 {
+		return nil, fmt.Errorf("%w: p=%d groups=%d", ErrGroup, p, g)
+	}
+	probs := h.Probabilities()
+	width := p / g
+	out := make([]float64, g)
+	for i := 0; i < g; i++ {
+		for j := 0; j < width; j++ {
+			out[i] += probs[i*width+j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistAddAndProbabilities(t *testing.T) {
+	h := NewHist(8)
+	for i := 0; i < 77; i++ {
+		h.Add(1)
+	}
+	for i := 0; i < 22; i++ {
+		h.Add(8)
+	}
+	h.Add(3)
+	probs := h.Probabilities()
+	if math.Abs(probs[0]-0.77) > 1e-12 || math.Abs(probs[7]-0.22) > 1e-12 {
+		t.Fatalf("probabilities wrong: %v", probs)
+	}
+	if h.Total() != 100 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistClamping(t *testing.T) {
+	h := NewHist(4)
+	h.Add(0)  // clamps to 1
+	h.Add(-3) // clamps to 1
+	h.Add(9)  // clamps to 4
+	if h.Counts[0] != 2 || h.Counts[3] != 1 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistGroupExample(t *testing.T) {
+	// The paper's Figure 1b->1c transformation: 64 cases into 8 groups.
+	h := NewHist(64)
+	for i := 0; i < 70; i++ {
+		h.Add(1)
+	}
+	for i := 0; i < 25; i++ {
+		h.Add(64)
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(33) // lands in group 5 (bins 33..40)
+	}
+	g, err := h.Group(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 8 {
+		t.Fatalf("group count = %d", len(g))
+	}
+	if math.Abs(g[0]-0.70) > 1e-12 || math.Abs(g[7]-0.25) > 1e-12 || math.Abs(g[4]-0.05) > 1e-12 {
+		t.Fatalf("grouped = %v", g)
+	}
+}
+
+func TestHistGroupErrors(t *testing.T) {
+	h := NewHist(10)
+	if _, err := h.Group(3); err == nil {
+		t.Fatal("10 bins into 3 groups accepted")
+	}
+	if _, err := h.Group(0); err == nil {
+		t.Fatal("0 groups accepted")
+	}
+}
+
+// Property: grouping conserves total probability mass.
+func TestHistGroupConservesMass(t *testing.T) {
+	f := func(seed uint64, trialsRaw uint16) bool {
+		r := NewRNG(seed)
+		h := NewHist(64)
+		trials := int(trialsRaw%1000) + 1
+		for i := 0; i < trials; i++ {
+			h.Add(r.Intn(64) + 1)
+		}
+		for _, g := range []int{1, 2, 4, 8, 16, 32, 64} {
+			gr, err := h.Group(g)
+			if err != nil {
+				return false
+			}
+			var sum float64
+			for _, v := range gr {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: grouping into p groups is the identity on probabilities.
+func TestHistGroupIdentity(t *testing.T) {
+	r := NewRNG(1)
+	h := NewHist(16)
+	for i := 0; i < 500; i++ {
+		h.Add(r.Intn(16) + 1)
+	}
+	g, err := h.Group(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := h.Probabilities()
+	for i := range g {
+		if math.Abs(g[i]-probs[i]) > 1e-12 {
+			t.Fatalf("identity grouping differs at %d", i)
+		}
+	}
+}
+
+func TestNewHistPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHist(0) did not panic")
+		}
+	}()
+	NewHist(0)
+}

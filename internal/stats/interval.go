@@ -1,0 +1,61 @@
+package stats
+
+import "math"
+
+// WilsonInterval returns the Wilson score interval for a binomial
+// proportion: successes/n observed, at approximately the given z quantile
+// (z = 1.96 for 95% confidence).  The paper's protocol keeps injecting
+// until the fault injection result stabilizes; the interval makes that
+// precision explicit for any trial count.
+func WilsonInterval(successes, n uint64, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	nf := float64(n)
+	p := float64(successes) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// SuccessInterval returns the 95% Wilson interval of a Rates value's
+// success rate.
+func (r Rates) SuccessInterval() (lo, hi float64) {
+	return WilsonInterval(uint64(r.Success*float64(r.N)+0.5), r.N, 1.96)
+}
+
+// StableAfter reports the paper's stability criterion: whether the running
+// success rate over the outcome sequence changes by less than tol after
+// the first warmup trials.  outcomes[i] is true for success.
+func StableAfter(outcomes []bool, warmup int, tol float64) bool {
+	if len(outcomes) <= warmup || warmup <= 0 {
+		return false
+	}
+	succ := 0
+	for i := 0; i < warmup; i++ {
+		if outcomes[i] {
+			succ++
+		}
+	}
+	ref := float64(succ) / float64(warmup)
+	for i := warmup; i < len(outcomes); i++ {
+		if outcomes[i] {
+			succ++
+		}
+		run := float64(succ) / float64(i+1)
+		if math.Abs(run-ref) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilsonIntervalKnown(t *testing.T) {
+	// 50/100 at z=1.96: the Wilson interval is approximately [0.404, 0.596].
+	lo, hi := WilsonInterval(50, 100, 1.96)
+	if math.Abs(lo-0.404) > 0.005 || math.Abs(hi-0.596) > 0.005 {
+		t.Fatalf("interval = [%g, %g]", lo, hi)
+	}
+}
+
+func TestWilsonIntervalEdges(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty interval = [%g, %g]", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 50, 1.96)
+	if lo != 0 || hi <= 0 || hi > 0.15 {
+		t.Fatalf("all-failure interval = [%g, %g]", lo, hi)
+	}
+	lo, hi = WilsonInterval(50, 50, 1.96)
+	if hi != 1 || lo < 0.85 {
+		t.Fatalf("all-success interval = [%g, %g]", lo, hi)
+	}
+}
+
+// Properties: the interval is ordered, bounded, contains the point
+// estimate, and narrows as n grows.
+func TestWilsonIntervalProperties(t *testing.T) {
+	f := func(sRaw, nRaw uint16) bool {
+		n := uint64(nRaw%2000) + 1
+		s := uint64(sRaw) % (n + 1)
+		lo, hi := WilsonInterval(s, n, 1.96)
+		p := float64(s) / float64(n)
+		if !(0 <= lo && lo <= hi && hi <= 1) {
+			return false
+		}
+		if p < lo-1e-12 || p > hi+1e-12 {
+			return false
+		}
+		lo2, hi2 := WilsonInterval(s*10, n*10, 1.96)
+		return hi2-lo2 <= hi-lo+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuccessInterval(t *testing.T) {
+	r := Rates{Success: 0.5, SDC: 0.5, N: 100}
+	lo, hi := r.SuccessInterval()
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("interval [%g, %g] does not contain the estimate", lo, hi)
+	}
+}
+
+func TestStableAfter(t *testing.T) {
+	// A constant success sequence is stable.
+	stable := make([]bool, 2000)
+	for i := range stable {
+		stable[i] = i%2 == 0
+	}
+	if !StableAfter(stable, 1000, 0.05) {
+		t.Fatal("alternating sequence reported unstable")
+	}
+	// A drifting sequence is not: all successes first, then all failures.
+	drift := make([]bool, 2000)
+	for i := 0; i < 1000; i++ {
+		drift[i] = true
+	}
+	if StableAfter(drift, 1000, 0.05) {
+		t.Fatal("drifting sequence reported stable")
+	}
+	// Degenerate inputs.
+	if StableAfter(nil, 10, 0.1) || StableAfter(stable, 0, 0.1) {
+		t.Fatal("degenerate inputs reported stable")
+	}
+}
