@@ -2,12 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench experiments report clean
+.PHONY: all build vet test test-short race cover bench experiments report clean
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) vet ./...
@@ -17,7 +20,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...

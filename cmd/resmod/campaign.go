@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -15,27 +16,33 @@ import (
 
 // campaignOptions are the knobs of one custom deployment.
 type campaignOptions struct {
-	app     string
-	class   string
-	procs   int
-	trials  int
-	errors  int
-	seed    uint64
-	region  string
-	pattern string
-	kinds   string
-	bit     int
-	spread  bool
-	winLo   float64
-	winHi   float64
-	tol     float64
-	workers int
-	json    bool
+	app         string
+	class       string
+	procs       int
+	trials      int
+	errors      int
+	seed        uint64
+	region      string
+	pattern     string
+	kinds       string
+	bit         int
+	spread      bool
+	winLo       float64
+	winHi       float64
+	tol         float64
+	workers     int
+	json        bool
+	budget      time.Duration
+	maxAbnormal int
+	retries     int
+	checkpoint  string
+	ckptEvery   time.Duration
+	resume      bool
 }
 
 // doCampaign runs a single fully-configurable fault injection deployment —
 // the CLI surface over faultsim.Campaign.
-func doCampaign(args []string, out, errw io.Writer) error {
+func doCampaign(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var o campaignOptions
@@ -55,8 +62,17 @@ func doCampaign(args []string, out, errw io.Writer) error {
 	fs.Float64Var(&o.tol, "contamination-tol", 0, "contamination tolerance (0 = default, <0 = bit-exact)")
 	fs.IntVar(&o.workers, "workers", 0, "trial concurrency")
 	fs.BoolVar(&o.json, "json", false, "emit JSON")
+	fs.DurationVar(&o.budget, "budget", 0, "campaign wall-clock budget (0 = none)")
+	fs.IntVar(&o.maxAbnormal, "max-abnormal", 0, "abnormal (harness-error) trials tolerated before failing")
+	fs.IntVar(&o.retries, "retries", 0, "retries per abnormal trial (0 = default, <0 = none)")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "periodic JSON snapshot file (enables resumability)")
+	fs.DurationVar(&o.ckptEvery, "checkpoint-every", 0, "snapshot period (default 5s)")
+	fs.BoolVar(&o.resume, "resume", false, "resume from -checkpoint if it exists")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if o.resume && o.checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
 	}
 
 	app, err := apps.Lookup(o.app)
@@ -67,6 +83,8 @@ func doCampaign(args []string, out, errw io.Writer) error {
 		App: app, Class: o.class, Procs: o.procs, Trials: o.trials,
 		Errors: o.errors, Seed: o.seed, Workers: o.workers,
 		SpreadErrors: o.spread, ContaminationTol: o.tol,
+		Budget: o.budget, MaxAbnormal: o.maxAbnormal, AbnormalRetries: o.retries,
+		Checkpoint: o.checkpoint, CheckpointEvery: o.ckptEvery, Resume: o.resume,
 	}
 	switch strings.ToLower(o.region) {
 	case "", "any":
@@ -109,7 +127,7 @@ func doCampaign(args []string, out, errw io.Writer) error {
 	}
 
 	start := time.Now()
-	sum, err := faultsim.Run(c)
+	sum, err := faultsim.RunCtx(ctx, c)
 	if err != nil {
 		return err
 	}
@@ -121,6 +139,9 @@ func doCampaign(args []string, out, errw io.Writer) error {
 			AvgFired     float64
 			Elapsed      time.Duration
 			CommMessages uint64
+			TrialsDone   uint64
+			Abnormal     uint64
+			Interrupted  bool
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -128,10 +149,24 @@ func doCampaign(args []string, out, errw io.Writer) error {
 			Rates: sum.Rates, Hist: sum.Hist.Counts,
 			UniqueFrac: sum.Golden.UniqueFraction(), AvgFired: sum.AvgFired,
 			Elapsed: sum.Elapsed, CommMessages: sum.Golden.Comm.Messages,
+			TrialsDone: sum.TrialsDone, Abnormal: sum.Abnormal,
+			Interrupted: sum.Interrupted,
 		})
 	}
 	fmt.Fprintf(out, "deployment: %s/%s procs=%d trials=%d errors=%d region=%s pattern=%s\n",
 		app.Name(), sum.Golden.Class, o.procs, o.trials, o.errors, o.region, o.pattern)
+	if sum.Interrupted {
+		fmt.Fprintf(out, "INTERRUPTED: %d/%d trials completed; partial results below\n",
+			sum.TrialsDone, o.trials)
+		if o.checkpoint != "" {
+			fmt.Fprintf(out, "checkpoint saved to %s — re-run with -resume to continue\n",
+				o.checkpoint)
+		}
+	}
+	if sum.Abnormal > 0 {
+		fmt.Fprintf(out, "abnormal trials: %d (excluded from rates; confidence degraded)\n",
+			sum.Abnormal)
+	}
 	fmt.Fprintf(out, "result: %s\n", sum.Rates)
 	lo, hi := sum.Rates.SuccessInterval()
 	fmt.Fprintf(out, "success 95%% CI: %.1f%% - %.1f%%\n", 100*lo, 100*hi)

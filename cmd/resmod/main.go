@@ -27,12 +27,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"resmod/internal/apps"
@@ -50,7 +53,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// First SIGINT/SIGTERM cancels the context: campaigns stop promptly,
+	// flush their checkpoints, and report partial progress.  A second
+	// signal kills the process (signal.NotifyContext restores default
+	// handling once the context is canceled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "resmod:", err)
 		os.Exit(1)
 	}
@@ -67,6 +76,7 @@ type options struct {
 	small   int
 	large   int
 	json    bool
+	budget  time.Duration
 }
 
 // emit renders v as JSON when -json is set and returns true.
@@ -82,14 +92,14 @@ func (o options) emit(out io.Writer, v any) bool {
 	return true
 }
 
-func run(args []string, out, errw io.Writer) error {
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	if len(args) == 0 {
 		usage(errw)
 		return fmt.Errorf("an experiment name is required")
 	}
 	cmd := args[0]
 	if cmd == "campaign" {
-		return doCampaign(args[1:], out, errw)
+		return doCampaign(ctx, args[1:], out, errw)
 	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(errw)
@@ -104,6 +114,7 @@ func run(args []string, out, errw io.Writer) error {
 	fs.IntVar(&o.small, "small", 8, "small-scale rank count for predict")
 	fs.IntVar(&o.large, "large", 64, "large-scale rank count for predict")
 	fs.BoolVar(&o.json, "json", false, "emit machine-readable JSON instead of tables")
+	fs.DurationVar(&o.budget, "budget", 0, "per-campaign wall-clock budget (0 = none)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -114,6 +125,7 @@ func run(args []string, out, errw io.Writer) error {
 	}
 	s := exper.NewSession(exper.Config{
 		Trials: o.trials, Seed: o.seed, Workers: o.workers, Log: logw,
+		Ctx: ctx, Budget: o.budget,
 	})
 	names := splitApps(o.apps)
 
@@ -180,8 +192,11 @@ func usage(w io.Writer) {
 experiments: apps table1 table2 fig1 fig2 fig3 fig5 fig6 fig7 fig8 overhead predict all report
 extras:      campaign ablate trace stability baselines modelablate scalesweep advise
              (use -app, -class, -small, -large)
-flags: -trials N -seed N -apps CG,FT,... -quiet -workers N
-       (predict only) -app NAME -class C -small S -large P`)
+flags: -trials N -seed N -apps CG,FT,... -quiet -workers N -budget D
+       (predict only) -app NAME -class C -small S -large P
+       (campaign only) -checkpoint FILE -resume -max-abnormal N -retries N
+SIGINT/SIGTERM stops campaigns promptly, preserving partial results
+(and the checkpoint, when one is configured).`)
 }
 
 func splitApps(s string) []string {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -10,7 +13,7 @@ import (
 func runCmd(t *testing.T, args ...string) string {
 	t.Helper()
 	var out, errw bytes.Buffer
-	if err := run(args, &out, &errw); err != nil {
+	if err := run(context.Background(), args, &out, &errw); err != nil {
 		t.Fatalf("run(%v): %v\nstderr: %s", args, err, errw.String())
 	}
 	return out.String()
@@ -18,10 +21,10 @@ func runCmd(t *testing.T, args ...string) string {
 
 func TestUnknownCommand(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := run([]string{"nope"}, &out, &errw); err == nil {
+	if err := run(context.Background(), []string{"nope"}, &out, &errw); err == nil {
 		t.Fatal("unknown command accepted")
 	}
-	if err := run(nil, &out, &errw); err == nil {
+	if err := run(context.Background(), nil, &out, &errw); err == nil {
 		t.Fatal("missing command accepted")
 	}
 }
@@ -109,15 +112,47 @@ func TestCampaignCommandJSON(t *testing.T) {
 	}
 }
 
+func TestCampaignCheckpointResume(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	first := runCmd(t, "campaign", "-app", "PENNANT", "-procs", "2", "-trials", "8",
+		"-checkpoint", ck)
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	// The checkpoint records all 8 trials done, so the resumed run replays
+	// the tallies without re-executing and must print identical results.
+	second := runCmd(t, "campaign", "-app", "PENNANT", "-procs", "2", "-trials", "8",
+		"-checkpoint", ck, "-resume")
+	if got, want := resultLine(t, second), resultLine(t, first); got != want {
+		t.Fatalf("resumed result differs:\nfirst:  %s\nsecond: %s", want, got)
+	}
+}
+
+// resultLine extracts the "result:" line of a campaign's text output.
+func resultLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "result:") {
+			return line
+		}
+	}
+	t.Fatalf("no result line in output:\n%s", out)
+	return ""
+}
+
 func TestCampaignCommandValidation(t *testing.T) {
+	ctx := context.Background()
 	var out, errw bytes.Buffer
-	if err := run([]string{"campaign", "-region", "bogus"}, &out, &errw); err == nil {
+	if err := run(ctx, []string{"campaign", "-region", "bogus"}, &out, &errw); err == nil {
 		t.Fatal("bogus region accepted")
 	}
-	if err := run([]string{"campaign", "-pattern", "bogus"}, &out, &errw); err == nil {
+	if err := run(ctx, []string{"campaign", "-pattern", "bogus"}, &out, &errw); err == nil {
 		t.Fatal("bogus pattern accepted")
 	}
-	if err := run([]string{"campaign", "-kinds", "bogus"}, &out, &errw); err == nil {
+	if err := run(ctx, []string{"campaign", "-kinds", "bogus"}, &out, &errw); err == nil {
 		t.Fatal("bogus kinds accepted")
+	}
+	if err := run(ctx, []string{"campaign", "-resume"}, &out, &errw); err == nil {
+		t.Fatal("-resume without -checkpoint accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"time"
 
 	"resmod/internal/fpe"
@@ -27,6 +28,13 @@ type ExecResult struct {
 // without an entry run clean.  timeout bounds the execution (hang detection);
 // zero disables the watchdog.
 func Execute(app App, class string, procs int, plans map[int][]fpe.Injection, timeout time.Duration) ExecResult {
+	return ExecuteCtx(context.Background(), app, class, procs, plans, timeout)
+}
+
+// ExecuteCtx is Execute under a context: cancellation aborts the simulated
+// world promptly and surfaces as an Err wrapping simmpi.ErrCanceled —
+// distinct from the application outcomes (*simmpi.PanicError, ErrTimeout).
+func ExecuteCtx(ctx context.Context, app App, class string, procs int, plans map[int][]fpe.Injection, timeout time.Duration) ExecResult {
 	outputs := make([]RankOutput, procs)
 	ctxs := make([]*fpe.Ctx, procs)
 	for r := 0; r < procs; r++ {
@@ -36,7 +44,7 @@ func Execute(app App, class string, procs int, plans map[int][]fpe.Injection, ti
 			ctxs[r] = fpe.New()
 		}
 	}
-	st, err := simmpi.Run(simmpi.Config{Procs: procs, Timeout: timeout}, func(c *simmpi.Comm) error {
+	st, err := simmpi.RunCtx(ctx, simmpi.Config{Procs: procs, Timeout: timeout}, func(c *simmpi.Comm) error {
 		out, rerr := app.Run(ctxs[c.Rank()], c, class)
 		if rerr != nil {
 			return rerr

@@ -8,6 +8,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -30,6 +31,15 @@ type Config struct {
 	Workers int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Ctx, when non-nil, cancels in-flight campaigns and golden runs —
+	// the CLI passes its SIGINT/SIGTERM context here so experiments stop
+	// promptly instead of running their remaining deployments to
+	// completion.
+	Ctx context.Context
+	// Budget bounds each campaign's wall time (zero = none).  A campaign
+	// that exhausts it is treated as interrupted and fails the
+	// experiment.
+	Budget time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -44,26 +54,52 @@ func (c Config) withDefaults() Config {
 
 // Session caches golden runs and campaign summaries so that experiments
 // sharing deployments (e.g. the serial curves of Figures 5, 6 and 8) run
-// them once.
+// them once.  Concurrent callers asking for the same golden or campaign
+// share a single in-flight computation (per-key singleflight) instead of
+// computing it twice.
 type Session struct {
 	cfg Config
 
 	mu      sync.Mutex
-	goldens map[string]*faultsim.Golden
-	camps   map[string]*faultsim.Summary
+	goldens map[string]*goldenCall
+	camps   map[string]*campaignCall
+}
+
+// goldenCall is one singleflight slot: the first caller runs the
+// computation inside once; everyone else blocks on it and shares the
+// result.
+type goldenCall struct {
+	once sync.Once
+	g    *faultsim.Golden
+	err  error
+}
+
+// campaignCall is the campaign-summary singleflight slot.
+type campaignCall struct {
+	once sync.Once
+	sum  *faultsim.Summary
+	err  error
 }
 
 // NewSession creates a session.
 func NewSession(cfg Config) *Session {
 	return &Session{
 		cfg:     cfg.withDefaults(),
-		goldens: make(map[string]*faultsim.Golden),
-		camps:   make(map[string]*faultsim.Summary),
+		goldens: make(map[string]*goldenCall),
+		camps:   make(map[string]*campaignCall),
 	}
 }
 
 // Config returns the session's effective configuration.
 func (s *Session) Config() Config { return s.cfg }
+
+// ctx returns the session's cancellation context.
+func (s *Session) ctx() context.Context {
+	if s.cfg.Ctx != nil {
+		return s.cfg.Ctx
+	}
+	return context.Background()
+}
 
 func (s *Session) logf(format string, args ...any) {
 	if s.cfg.Log != nil {
@@ -78,22 +114,32 @@ func (s *Session) Golden(app apps.App, class string, procs int) (*faultsim.Golde
 	}
 	key := fmt.Sprintf("%s/%s/p%d", app.Name(), class, procs)
 	s.mu.Lock()
-	g, ok := s.goldens[key]
-	s.mu.Unlock()
-	if ok {
-		return g, nil
+	call := s.goldens[key]
+	if call == nil {
+		call = &goldenCall{}
+		s.goldens[key] = call
 	}
-	g, err := faultsim.ComputeGolden(app, class, procs, s.cfg.Timeout)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.goldens[key] = g
 	s.mu.Unlock()
-	return g, nil
+	call.once.Do(func() {
+		call.g, call.err = faultsim.ComputeGoldenCtx(s.ctx(), app, class, procs, s.cfg.Timeout)
+	})
+	if call.err != nil {
+		// Drop the failed slot so a later caller can retry (e.g. after a
+		// transient cancellation).
+		s.mu.Lock()
+		if s.goldens[key] == call {
+			delete(s.goldens, key)
+		}
+		s.mu.Unlock()
+		return nil, call.err
+	}
+	return call.g, nil
 }
 
 // Campaign returns (running and caching on first use) a deployment summary.
+// An interrupted campaign (session context canceled, or per-campaign
+// Budget exhausted) is not cached and is reported as an error carrying the
+// partial progress, so experiment drivers stop promptly.
 func (s *Session) Campaign(app apps.App, class string, procs, errors int, region faultsim.RegionMode) (*faultsim.Summary, error) {
 	if class == "" {
 		class = app.DefaultClass()
@@ -101,28 +147,45 @@ func (s *Session) Campaign(app apps.App, class string, procs, errors int, region
 	key := fmt.Sprintf("%s/%s/p%d/e%d/r%d/t%d", app.Name(), class, procs, errors,
 		int(region), s.cfg.Trials)
 	s.mu.Lock()
-	sum, ok := s.camps[key]
-	s.mu.Unlock()
-	if ok {
-		return sum, nil
+	call := s.camps[key]
+	if call == nil {
+		call = &campaignCall{}
+		s.camps[key] = call
 	}
+	s.mu.Unlock()
+	call.once.Do(func() { call.sum, call.err = s.runCampaign(key, app, class, procs, errors, region) })
+	if call.err != nil {
+		s.mu.Lock()
+		if s.camps[key] == call {
+			delete(s.camps, key)
+		}
+		s.mu.Unlock()
+		return call.sum, call.err
+	}
+	return call.sum, nil
+}
+
+// runCampaign executes one deployment for Campaign's singleflight slot.
+func (s *Session) runCampaign(key string, app apps.App, class string, procs, errors int, region faultsim.RegionMode) (*faultsim.Summary, error) {
 	golden, err := s.Golden(app, class, procs)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	sum, err = faultsim.RunAgainst(faultsim.Campaign{
+	sum, err := faultsim.RunAgainstCtx(s.ctx(), faultsim.Campaign{
 		App: app, Class: class, Procs: procs, Trials: s.cfg.Trials,
 		Errors: errors, Region: region, Seed: s.cfg.Seed,
 		Timeout: s.cfg.Timeout, Workers: s.cfg.Workers,
+		Budget: s.cfg.Budget,
 	}, golden)
 	if err != nil {
 		return nil, fmt.Errorf("exper: campaign %s: %w", key, err)
 	}
+	if sum.Interrupted {
+		return sum, fmt.Errorf("exper: campaign %s interrupted after %d/%d trials",
+			key, sum.TrialsDone, s.cfg.Trials)
+	}
 	s.logf("campaign %-28s %s  [%v]", key, sum.Rates, time.Since(start).Round(time.Millisecond))
-	s.mu.Lock()
-	s.camps[key] = sum
-	s.mu.Unlock()
 	return sum, nil
 }
 

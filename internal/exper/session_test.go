@@ -1,0 +1,81 @@
+package exper
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"resmod/internal/apps"
+	"resmod/internal/fpe"
+	"resmod/internal/simmpi"
+)
+
+// countingApp counts rank executions so tests can assert how many times the
+// session actually ran the application.
+type countingApp struct{ runs *atomic.Int64 }
+
+func (countingApp) Name() string               { return "session-counting-test" }
+func (countingApp) Classes() []string          { return []string{"X"} }
+func (countingApp) DefaultClass() string       { return "X" }
+func (countingApp) MaxProcs(string) int        { return 8 }
+func (countingApp) Verify(g, c []float64) bool { return apps.VerifyRel(g, c, 1e-12) }
+
+func (a countingApp) Run(fc *fpe.Ctx, comm *simmpi.Comm, class string) (apps.RankOutput, error) {
+	a.runs.Add(1)
+	s := 0.0
+	for i := 0; i < 200; i++ {
+		s = fc.Add(s, float64(i))
+	}
+	return apps.RankOutput{State: []float64{s}, Check: []float64{s}}, nil
+}
+
+func TestGoldenSingleflight(t *testing.T) {
+	var runs atomic.Int64
+	app := countingApp{runs: &runs}
+	s := NewSession(Config{Trials: 4, Seed: 1})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Golden(app, "", 1); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	// Eight concurrent requests for the same golden share one execution.
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("golden executed %d times, want 1", got)
+	}
+}
+
+func TestCampaignSingleflight(t *testing.T) {
+	var runs atomic.Int64
+	app := countingApp{runs: &runs}
+	s := NewSession(Config{Trials: 5, Seed: 1})
+
+	var wg sync.WaitGroup
+	sums := make([]any, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sum, err := s.Campaign(app, "", 1, 1, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sums[i] = sum
+		}(i)
+	}
+	wg.Wait()
+	// One golden + five trials, once — not twice.
+	if got := runs.Load(); got != 6 {
+		t.Fatalf("app executed %d times, want 6 (1 golden + 5 trials, shared)", got)
+	}
+	if sums[0] != sums[1] {
+		t.Fatal("concurrent callers did not share the cached summary")
+	}
+}

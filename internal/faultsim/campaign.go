@@ -1,6 +1,7 @@
 package faultsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -59,6 +60,23 @@ const (
 	UniqueOnly
 )
 
+// Resilience tuning defaults.
+const (
+	// DefaultAbnormalRetries is the number of times an abnormal trial is
+	// retried before it counts against the campaign's MaxAbnormal budget.
+	DefaultAbnormalRetries = 2
+	// DefaultCheckpointEvery is the period between checkpoint snapshots
+	// when Campaign.Checkpoint is set and no period is given.
+	DefaultCheckpointEvery = 5 * time.Second
+)
+
+// Retry backoff bounds for abnormal trials (exponential, base doubling,
+// capped).
+const (
+	retryBackoffBase = 10 * time.Millisecond
+	retryBackoffMax  = 500 * time.Millisecond
+)
+
 // Campaign is one fault injection deployment: a specific configuration
 // (scale, error count, region, fault pattern) run for Trials randomized
 // tests (paper §2).
@@ -108,6 +126,84 @@ type Campaign struct {
 	// Window restricts the injected dynamic-index range to a fraction
 	// [lo, hi) of the operation stream, for injection-time sweeps.
 	Window *[2]float64
+
+	// Budget bounds the campaign's total wall time; zero means no budget.
+	// A campaign that exhausts its budget stops promptly and returns a
+	// partial Summary flagged Interrupted, exactly like an external
+	// cancellation.
+	Budget time.Duration
+	// MaxAbnormal is the number of abnormal trials the campaign tolerates
+	// before failing.  A trial is abnormal when the *harness* errors
+	// (a panic escaping the injection machinery, an injection-plan drawing
+	// error, an application-reported setup error) — as opposed to the
+	// application crashing or hanging, which are Failure outcomes.
+	// Abnormal trials are retried (see AbnormalRetries) and, if still
+	// failing, excluded from the outcome tallies and counted in
+	// Summary.Abnormal.  The default 0 fails the campaign on the first
+	// unrecovered abnormal trial.
+	MaxAbnormal int
+	// AbnormalRetries is the number of times an abnormal trial is re-run
+	// (with bounded exponential backoff) before being abandoned.  Each
+	// retry replays the identical trial: the trial's RNG stream depends
+	// only on (Seed, trial index).  Zero selects DefaultAbnormalRetries;
+	// negative disables retries.
+	AbnormalRetries int
+
+	// Checkpoint is the path of a JSON snapshot of the campaign's partial
+	// tallies, written every CheckpointEvery and at exit (including
+	// interrupted exits).  Empty disables checkpointing.
+	Checkpoint string
+	// CheckpointEvery is the snapshot period (default
+	// DefaultCheckpointEvery).
+	CheckpointEvery time.Duration
+	// Resume, when true and Checkpoint names an existing snapshot of this
+	// exact campaign (same Identity), restores its tallies and runs only
+	// the remaining trials.  Because each trial's RNG is an independent
+	// stream split from Seed, a resumed campaign is bit-identical to an
+	// uninterrupted one.  A missing checkpoint file starts fresh.
+	Resume bool
+
+	// hooks holds test seams; nil in production use.  A pointer keeps
+	// Campaign comparable.
+	hooks *campaignHooks
+}
+
+// campaignHooks are in-package test seams.
+type campaignHooks struct {
+	// trialDone is called under the aggregate lock after every recorded
+	// trial with the completed-trial count — used by tests to interrupt a
+	// campaign at an exact trial boundary.
+	trialDone func(done uint64)
+}
+
+// Identity returns the campaign's deterministic identity string: every
+// field that affects trial outcomes (app/class/procs/errors/region/trials/
+// seed/pattern and the extension knobs).  Checkpoints are keyed by it so a
+// snapshot can never be resumed into a different deployment.  Call after
+// defaults are applied; RunAgainstCtx normalizes before computing it.
+func (c Campaign) Identity() string {
+	app := "?"
+	if c.App != nil {
+		app = c.App.Name()
+	}
+	id := fmt.Sprintf("%s/%s/p%d/t%d/e%d/r%d/s%d/pat%d",
+		app, c.Class, c.Procs, c.Trials, c.Errors, int(c.Region), c.Seed, int(c.Pattern))
+	if c.SpreadErrors {
+		id += "/spread"
+	}
+	if c.ContaminationTol != 0 {
+		id += fmt.Sprintf("/tol%g", c.ContaminationTol)
+	}
+	if c.KindMask != 0 {
+		id += fmt.Sprintf("/k%d", c.KindMask)
+	}
+	if c.FixedBit != nil {
+		id += fmt.Sprintf("/b%d", *c.FixedBit)
+	}
+	if c.Window != nil {
+		id += fmt.Sprintf("/w%g-%g", c.Window[0], c.Window[1])
+	}
+	return id
 }
 
 // drawOpts assembles the fpe drawing options from the campaign fields.
@@ -156,9 +252,24 @@ type Summary struct {
 	// injection time").
 	Elapsed time.Duration
 	// AvgFired is the mean number of planned injections that actually
-	// executed per test (late plan indices can be skipped when corrupted
-	// control flow shortens the operation stream).
+	// executed per completed test (late plan indices can be skipped when
+	// corrupted control flow shortens the operation stream).
 	AvgFired float64
+
+	// Interrupted reports that the campaign stopped early — an external
+	// cancellation (e.g. SIGINT) or an exhausted Budget — so the tallies
+	// cover only TrialsDone of the configured Trials.
+	Interrupted bool
+	// TrialsDone is the number of trials whose outcomes are in the
+	// tallies.  For a complete campaign with no abnormal trials it equals
+	// the configured Trials.
+	TrialsDone uint64
+	// Abnormal is the number of trials abandoned after harness errors
+	// (panics escaping the injection machinery, plan-drawing errors);
+	// they contribute to no outcome tally, so Rates.N < Trials.  A
+	// non-zero Abnormal means degraded statistical confidence and should
+	// be surfaced by reports.
+	Abnormal uint64
 }
 
 // ConditionalRates returns the fault injection result over tests that
@@ -174,6 +285,13 @@ func (s *Summary) ConditionalRates(x int) (stats.Rates, bool) {
 // Run executes the deployment.  The result is deterministic for a given
 // Campaign value (including Seed), regardless of Workers.
 func Run(c Campaign) (*Summary, error) {
+	return RunCtx(context.Background(), c)
+}
+
+// RunCtx is Run under a context: cancellation stops all trial workers
+// promptly (within one trial timeout) and returns the partial Summary
+// flagged Interrupted instead of discarding the completed work.
+func RunCtx(ctx context.Context, c Campaign) (*Summary, error) {
 	if c.App == nil {
 		return nil, errors.New("faultsim: Campaign.App is nil")
 	}
@@ -186,26 +304,39 @@ func Run(c Campaign) (*Summary, error) {
 	if c.Trials < 1 {
 		return nil, fmt.Errorf("faultsim: invalid Trials %d", c.Trials)
 	}
-	if c.Errors < 1 {
-		c.Errors = 1
-	}
 	if c.Timeout <= 0 {
 		c.Timeout = apps.DefaultTimeout
 	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
 
-	golden, err := ComputeGolden(c.App, c.Class, c.Procs, c.Timeout)
+	golden, err := ComputeGoldenCtx(ctx, c.App, c.Class, c.Procs, c.Timeout)
 	if err != nil {
 		return nil, err
 	}
-	return RunAgainst(c, golden)
+	return RunAgainstCtx(ctx, c, golden)
 }
 
 // RunAgainst executes the deployment against a precomputed golden run
 // (letting callers share one golden across deployments).
 func RunAgainst(c Campaign, golden *Golden) (*Summary, error) {
+	return RunAgainstCtx(context.Background(), c, golden)
+}
+
+// RunAgainstCtx is RunAgainst under a context.  On cancellation or an
+// exhausted Budget it returns the partial Summary flagged Interrupted (and,
+// when Checkpoint is set, persists a resumable snapshot first).  Campaign
+// errors — invalid configuration, or more than MaxAbnormal abnormal trials
+// — are returned as errors; the abnormal-overflow error cites the lowest
+// failing trial index observed, independent of worker scheduling.
+func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.App == nil {
+		c.App = golden.App
+	}
+	if c.Class == "" {
+		c.Class = golden.Class
+	}
 	if golden.Procs != c.Procs {
 		return nil, fmt.Errorf("faultsim: golden has %d procs, campaign wants %d",
 			golden.Procs, c.Procs)
@@ -225,100 +356,302 @@ func RunAgainst(c Campaign, golden *Golden) (*Summary, error) {
 	if c.ContaminationTol == 0 {
 		c.ContaminationTol = DefaultContaminationTol
 	}
-	start := time.Now()
-	base := stats.NewRNG(c.Seed)
-
-	maxDist := c.Procs/2 + 1
-	type partial struct {
-		counter stats.Counter
-		hist    *stats.Hist
-		byCont  map[int]*stats.Counter
-		spread  []uint64
-		fired   uint64
-		err     error
+	if c.AbnormalRetries == 0 {
+		c.AbnormalRetries = DefaultAbnormalRetries
 	}
-	parts := make([]partial, c.Workers)
+
+	if c.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Budget)
+		defer cancel()
+	}
+	// abort lets a worker that exhausts the abnormal budget stop the
+	// others promptly instead of letting them burn through their remaining
+	// trials.
+	ctx, abort := context.WithCancel(ctx)
+	defer abort()
+
+	start := time.Now()
+	agg := newAggregate(c.Procs, c.Trials)
+	if c.hooks != nil {
+		agg.hook = c.hooks.trialDone
+	}
+	identity := c.Identity()
+	if c.Resume && c.Checkpoint != "" {
+		if err := agg.restoreFromFile(c.Checkpoint, identity); err != nil {
+			return nil, err
+		}
+	}
+
+	// Periodic checkpointing: a snapshot every CheckpointEvery, plus a
+	// final one on every exit path so an interrupted campaign is always
+	// resumable.
+	ckptStop := make(chan struct{})
+	var ckptWG sync.WaitGroup
+	if c.Checkpoint != "" {
+		every := c.CheckpointEvery
+		if every <= 0 {
+			every = DefaultCheckpointEvery
+		}
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ckptStop:
+					return
+				case <-tick.C:
+					// Best effort: a failed periodic write only costs
+					// resumability back to the previous snapshot.
+					_ = SaveCheckpoint(c.Checkpoint, agg.snapshot(identity))
+				}
+			}
+		}()
+	}
+
+	base := stats.NewRNG(c.Seed)
 	var wg sync.WaitGroup
 	for w := 0; w < c.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			p := &parts[w]
-			p.hist = stats.NewHist(c.Procs)
-			p.byCont = make(map[int]*stats.Counter)
-			p.spread = make([]uint64, maxDist)
 			for t := w; t < c.Trials; t += c.Workers {
-				rec, err := runTrial(c, golden, base.Split(uint64(t)))
-				if err != nil {
-					p.err = err
+				if ctx.Err() != nil {
 					return
 				}
-				p.fired += uint64(rec.Fired)
-				switch rec.Outcome {
-				case Success:
-					p.counter.AddSuccess()
-				case SDC:
-					p.counter.AddSDC()
-				case Failure:
-					p.counter.AddFailure()
+				if agg.isDone(t) {
+					continue // restored from the checkpoint
 				}
-				if rec.Outcome != Failure {
-					p.hist.Add(rec.Contaminated)
-					for _, d := range rec.Distances {
-						p.spread[d]++
+				rec, err := runTrialResilient(ctx, c, golden, base, t)
+				if err != nil {
+					if isInterruption(err) {
+						return
 					}
-					bc := p.byCont[clampCont(rec.Contaminated, c.Procs)]
-					if bc == nil {
-						bc = &stats.Counter{}
-						p.byCont[clampCont(rec.Contaminated, c.Procs)] = bc
+					if agg.recordAbnormal(t, err) > c.MaxAbnormal {
+						abort()
+						return
 					}
-					switch rec.Outcome {
-					case Success:
-						bc.AddSuccess()
-					case SDC:
-						bc.AddSDC()
-					}
+					continue
 				}
+				agg.record(t, rec)
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	sum := &Summary{
-		Hist:             stats.NewHist(c.Procs),
-		ByContamination:  make(map[int]*stats.Counter),
-		SpreadByDistance: make([]uint64, maxDist),
-		Golden:           golden,
-	}
-	var counter stats.Counter
-	var fired uint64
-	for i := range parts {
-		p := &parts[i]
-		if p.err != nil {
-			return nil, p.err
-		}
-		counter.Merge(p.counter)
-		fired += p.fired
-		for x, cnt := range p.hist.Counts {
-			sum.Hist.Counts[x] += cnt
-		}
-		for d, cnt := range p.spread {
-			sum.SpreadByDistance[d] += cnt
-		}
-		for x, bc := range p.byCont {
-			dst := sum.ByContamination[x]
-			if dst == nil {
-				dst = &stats.Counter{}
-				sum.ByContamination[x] = dst
-			}
-			dst.Merge(*bc)
+	if c.Checkpoint != "" {
+		close(ckptStop)
+		ckptWG.Wait()
+		if err := SaveCheckpoint(c.Checkpoint, agg.snapshot(identity)); err != nil {
+			return nil, fmt.Errorf("faultsim: writing checkpoint: %w", err)
 		}
 	}
-	sum.Rates = counter.Rates()
-	sum.Counts = counter
-	sum.AvgFired = float64(fired) / float64(c.Trials)
+	if err := agg.fatalError(c.MaxAbnormal); err != nil {
+		return nil, err
+	}
+
+	sum := agg.summary(golden)
 	sum.Elapsed = time.Since(start)
+	if sum.TrialsDone+sum.Abnormal < uint64(c.Trials) && ctx.Err() != nil {
+		sum.Interrupted = true
+	}
 	return sum, nil
+}
+
+// isInterruption reports whether a trial error is an external interruption
+// (context cancellation or budget/deadline expiry) rather than a harness
+// abnormality; interrupted trials are not outcomes and not abnormal.
+func isInterruption(err error) bool {
+	return errors.Is(err, simmpi.ErrCanceled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// runTrialResilient runs one trial with harness-fault containment: panics
+// escaping the harness are recovered, and abnormal trials are retried with
+// bounded exponential backoff.  Retries replay the identical trial — the
+// RNG stream is re-split from the base per attempt.
+func runTrialResilient(ctx context.Context, c Campaign, golden *Golden, base *stats.RNG, t int) (TrialRecord, error) {
+	backoff := retryBackoffBase
+	var rec TrialRecord
+	var err error
+	for attempt := 0; ; attempt++ {
+		rec, err = runTrialContained(ctx, c, golden, base.Split(uint64(t)))
+		if err == nil || isInterruption(err) {
+			return rec, err
+		}
+		if attempt >= c.AbnormalRetries {
+			return rec, fmt.Errorf("faultsim: trial %d failed abnormally after %d attempt(s): %w",
+				t, attempt+1, err)
+		}
+		select {
+		case <-ctx.Done():
+			return rec, fmt.Errorf("%w: %w", simmpi.ErrCanceled, ctx.Err())
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > retryBackoffMax {
+			backoff = retryBackoffMax
+		}
+	}
+}
+
+// runTrialContained is runTrial with a recover fence: a panic escaping the
+// harness (injection drawing, outcome classification, a panicking
+// application Verify) is contained to this trial and reported as an
+// abnormal error instead of killing the whole campaign.
+func runTrialContained(ctx context.Context, c Campaign, golden *Golden, rng *stats.RNG) (rec TrialRecord, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("faultsim: harness panic: %v", v)
+		}
+	}()
+	return runTrial(ctx, c, golden, rng)
+}
+
+// aggregate is the shared, lock-protected campaign state: the done-trial
+// bitmap plus every tally the Summary is built from.  Keeping one shared
+// aggregate (rather than per-worker partials merged at the end) is what
+// makes periodic checkpointing a plain snapshot; the per-trial lock is
+// negligible next to a trial's full application execution.
+type aggregate struct {
+	mu        sync.Mutex
+	procs     int
+	trials    int
+	done      []uint64 // bitmap; bit t set = trial t's outcome is tallied
+	completed uint64
+	counter   stats.Counter
+	hist      []uint64
+	byCont    map[int]*stats.Counter
+	spread    []uint64
+	fired     uint64
+	abnormal  []trialError
+	hook      func(done uint64)
+}
+
+// trialError is one abnormal trial's error, kept for deterministic
+// (lowest-trial-index) campaign error reporting.
+type trialError struct {
+	trial int
+	err   error
+}
+
+func newAggregate(procs, trials int) *aggregate {
+	return &aggregate{
+		procs:  procs,
+		trials: trials,
+		done:   make([]uint64, (trials+63)/64),
+		hist:   make([]uint64, procs),
+		byCont: make(map[int]*stats.Counter),
+		spread: make([]uint64, procs/2+1),
+	}
+}
+
+// isDone reports whether trial t's outcome is already tallied (restored
+// from a checkpoint).
+func (a *aggregate) isDone(t int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.done[t/64]&(1<<(t%64)) != 0
+}
+
+// record tallies one completed trial.
+func (a *aggregate) record(t int, rec TrialRecord) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.done[t/64]&(1<<(t%64)) != 0 {
+		return
+	}
+	a.done[t/64] |= 1 << (t % 64)
+	a.completed++
+	a.fired += uint64(rec.Fired)
+	switch rec.Outcome {
+	case Success:
+		a.counter.AddSuccess()
+	case SDC:
+		a.counter.AddSDC()
+	case Failure:
+		a.counter.AddFailure()
+	}
+	if rec.Outcome != Failure {
+		x := clampCont(rec.Contaminated, a.procs)
+		a.hist[x-1]++
+		for _, d := range rec.Distances {
+			a.spread[d]++
+		}
+		bc := a.byCont[x]
+		if bc == nil {
+			bc = &stats.Counter{}
+			a.byCont[x] = bc
+		}
+		switch rec.Outcome {
+		case Success:
+			bc.AddSuccess()
+		case SDC:
+			bc.AddSDC()
+		}
+	}
+	if a.hook != nil {
+		a.hook(a.completed)
+	}
+}
+
+// recordAbnormal records an abandoned trial and returns the new abnormal
+// count.  Abnormal trials are never marked done: a resumed campaign
+// re-attempts them.
+func (a *aggregate) recordAbnormal(t int, err error) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.abnormal = append(a.abnormal, trialError{trial: t, err: err})
+	return len(a.abnormal)
+}
+
+// fatalError returns the campaign error when the abnormal budget is
+// exceeded: the lowest-trial-index abnormal error observed, so the result
+// does not depend on which worker happened to be merged first.
+func (a *aggregate) fatalError(maxAbnormal int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.abnormal) <= maxAbnormal {
+		return nil
+	}
+	first := a.abnormal[0]
+	for _, te := range a.abnormal[1:] {
+		if te.trial < first.trial {
+			first = te
+		}
+	}
+	if maxAbnormal == 0 && len(a.abnormal) == 1 {
+		return first.err
+	}
+	return fmt.Errorf("faultsim: %d abnormal trial(s) exceed budget %d; first: %w",
+		len(a.abnormal), maxAbnormal, first.err)
+}
+
+// summary builds the Summary from the tallies.
+func (a *aggregate) summary(golden *Golden) *Summary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sum := &Summary{
+		Hist:             &stats.Hist{Counts: append([]uint64(nil), a.hist...)},
+		ByContamination:  make(map[int]*stats.Counter, len(a.byCont)),
+		SpreadByDistance: append([]uint64(nil), a.spread...),
+		Golden:           golden,
+		Rates:            a.counter.Rates(),
+		Counts:           a.counter,
+		TrialsDone:       a.completed,
+		Abnormal:         uint64(len(a.abnormal)),
+	}
+	for x, bc := range a.byCont {
+		cp := *bc
+		sum.ByContamination[x] = &cp
+	}
+	if a.completed > 0 {
+		sum.AvgFired = float64(a.fired) / float64(a.completed)
+	}
+	return sum
 }
 
 // ringDistance returns min(|a-b|, p-|a-b|): the hop count between two
@@ -367,7 +700,7 @@ func drawFor(c Campaign, golden *Golden, rng *stats.RNG, rank, k int) ([]fpe.Inj
 }
 
 // runTrial executes one fault injection test.
-func runTrial(c Campaign, golden *Golden, rng *stats.RNG) (TrialRecord, error) {
+func runTrial(ctx context.Context, c Campaign, golden *Golden, rng *stats.RNG) (TrialRecord, error) {
 	target := 0
 	if c.Procs > 1 {
 		target = rng.Intn(c.Procs)
@@ -396,7 +729,7 @@ func runTrial(c Campaign, golden *Golden, rng *stats.RNG) (TrialRecord, error) {
 		plans[target] = plan
 	}
 
-	res := apps.Execute(golden.App, golden.Class, c.Procs, plans, c.Timeout)
+	res := apps.ExecuteCtx(ctx, golden.App, golden.Class, c.Procs, plans, c.Timeout)
 	fired := 0
 	for r := range plans {
 		fired += res.Ctxs[r].Fired()
@@ -408,8 +741,8 @@ func runTrial(c Campaign, golden *Golden, rng *stats.RNG) (TrialRecord, error) {
 			rec.Outcome = Failure
 			return rec, nil
 		}
-		// Any other error is a harness problem, not an application outcome.
-		return rec, fmt.Errorf("faultsim: trial failed abnormally: %w", res.Err)
+		// Cancellation and harness problems are not application outcomes.
+		return rec, res.Err
 	}
 	for r := 0; r < c.Procs; r++ {
 		if diverged(res.Outputs[r].State, golden.States[r], c.ContaminationTol) {

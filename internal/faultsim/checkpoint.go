@@ -1,0 +1,176 @@
+package faultsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/bits"
+	"os"
+	"path/filepath"
+
+	"resmod/internal/stats"
+)
+
+// CheckpointVersion is the current snapshot schema version.
+const CheckpointVersion = 1
+
+// ErrCheckpointMismatch reports that a checkpoint does not belong to the
+// campaign trying to resume from it (different Identity) or is internally
+// inconsistent.
+var ErrCheckpointMismatch = errors.New("faultsim: checkpoint does not match campaign")
+
+// Checkpoint is the JSON snapshot of a partially executed campaign: the
+// set of completed trials plus every tally the final Summary is built
+// from.  All tallies are integer counts merged commutatively, so restoring
+// a snapshot and running only the remaining trials produces a Summary
+// bit-identical to an uninterrupted run — each trial's RNG stream depends
+// only on (Seed, trial index), never on execution order.
+//
+// Abnormal trials are deliberately *not* in Done: a resumed campaign
+// re-attempts them, giving transient harness faults a second chance.
+type Checkpoint struct {
+	// Version is the schema version (CheckpointVersion).
+	Version int
+	// Identity is the owning campaign's Campaign.Identity().
+	Identity string
+	// Trials is the campaign's configured trial count.
+	Trials int
+	// Done is the completed-trial bitmap: trial t is done iff
+	// Done[t/64]>>(t%64)&1 == 1.
+	Done []uint64
+	// Completed is the number of set bits in Done.
+	Completed uint64
+	// Success, SDC and Failure are the outcome tallies over Done trials.
+	Success uint64
+	SDC     uint64
+	Failure uint64
+	// Hist is the contamination histogram counts (bin x-1 = x ranks).
+	Hist []uint64
+	// ByContamination holds the outcome counters conditioned on
+	// contamination count.
+	ByContamination map[int]stats.Counter
+	// Spread is the SpreadByDistance tally.
+	Spread []uint64
+	// Fired is the total fired-injection count over Done trials.
+	Fired uint64
+}
+
+// snapshot captures the aggregate as a Checkpoint under the lock.
+func (a *aggregate) snapshot(identity string) *Checkpoint {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ck := &Checkpoint{
+		Version:         CheckpointVersion,
+		Identity:        identity,
+		Trials:          a.trials,
+		Done:            append([]uint64(nil), a.done...),
+		Completed:       a.completed,
+		Success:         a.counter.Success,
+		SDC:             a.counter.SDC,
+		Failure:         a.counter.Failure,
+		Hist:            append([]uint64(nil), a.hist...),
+		ByContamination: make(map[int]stats.Counter, len(a.byCont)),
+		Spread:          append([]uint64(nil), a.spread...),
+		Fired:           a.fired,
+	}
+	for x, bc := range a.byCont {
+		ck.ByContamination[x] = *bc
+	}
+	return ck
+}
+
+// restore loads a Checkpoint into the (fresh) aggregate after validating
+// that it belongs to the campaign with the given identity.
+func (a *aggregate) restore(ck *Checkpoint, identity string) error {
+	if ck.Version != CheckpointVersion {
+		return fmt.Errorf("%w: snapshot version %d, want %d",
+			ErrCheckpointMismatch, ck.Version, CheckpointVersion)
+	}
+	if ck.Identity != identity {
+		return fmt.Errorf("%w: snapshot is of %q, campaign is %q",
+			ErrCheckpointMismatch, ck.Identity, identity)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ck.Trials != a.trials || len(ck.Done) != len(a.done) ||
+		len(ck.Hist) != len(a.hist) || len(ck.Spread) != len(a.spread) {
+		return fmt.Errorf("%w: snapshot shape does not fit the campaign",
+			ErrCheckpointMismatch)
+	}
+	var pop uint64
+	for _, w := range ck.Done {
+		pop += uint64(bits.OnesCount64(w))
+	}
+	if pop != ck.Completed || ck.Success+ck.SDC+ck.Failure != ck.Completed {
+		return fmt.Errorf("%w: snapshot tallies are inconsistent (%d done bits, %d completed)",
+			ErrCheckpointMismatch, pop, ck.Completed)
+	}
+	copy(a.done, ck.Done)
+	a.completed = ck.Completed
+	a.counter = stats.Counter{Success: ck.Success, SDC: ck.SDC, Failure: ck.Failure}
+	copy(a.hist, ck.Hist)
+	copy(a.spread, ck.Spread)
+	a.fired = ck.Fired
+	for x, bc := range ck.ByContamination {
+		cp := bc
+		a.byCont[x] = &cp
+	}
+	return nil
+}
+
+// restoreFromFile loads the checkpoint at path into the aggregate.  A
+// missing file is not an error — the campaign simply starts fresh, which
+// makes `-resume` safe to pass unconditionally.
+func (a *aggregate) restoreFromFile(path, identity string) error {
+	ck, err := LoadCheckpoint(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return a.restore(ck, identity)
+}
+
+// SaveCheckpoint atomically writes the snapshot to path: the JSON is
+// written to a temporary file in the same directory and renamed into
+// place, so a crash mid-write can never corrupt an existing snapshot.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	data, err := json.MarshalIndent(ck, "", " ")
+	if err != nil {
+		return fmt.Errorf("faultsim: marshaling checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("faultsim: creating checkpoint temp file: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("faultsim: writing checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("faultsim: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a snapshot written by SaveCheckpoint.  A missing
+// file returns an error wrapping os.ErrNotExist.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faultsim: reading checkpoint: %w", err)
+	}
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("faultsim: parsing checkpoint %s: %w", path, err)
+	}
+	return ck, nil
+}

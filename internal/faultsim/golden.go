@@ -7,6 +7,7 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -59,11 +60,17 @@ func (g *Golden) UniqueFraction() float64 { return g.TotalCounts().UniqueFractio
 // ComputeGolden runs the fault-free execution and captures the reference
 // data.  It fails if the execution errors — a golden run must be clean.
 func ComputeGolden(app apps.App, class string, procs int, timeout time.Duration) (*Golden, error) {
+	return ComputeGoldenCtx(context.Background(), app, class, procs, timeout)
+}
+
+// ComputeGoldenCtx is ComputeGolden under a context; cancellation aborts
+// the reference run promptly.
+func ComputeGoldenCtx(ctx context.Context, app apps.App, class string, procs int, timeout time.Duration) (*Golden, error) {
 	if class == "" {
 		class = app.DefaultClass()
 	}
 	start := time.Now()
-	res := apps.Execute(app, class, procs, nil, timeout)
+	res := apps.ExecuteCtx(ctx, app, class, procs, nil, timeout)
 	if res.Err != nil {
 		return nil, fmt.Errorf("faultsim: golden run of %s/%s p=%d failed: %w",
 			app.Name(), class, procs, res.Err)

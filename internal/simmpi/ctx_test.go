@@ -1,0 +1,63 @@
+package simmpi
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunCtxCancellationReleasesBlockedRanks(t *testing.T) {
+	// Both ranks block in Recv on messages that never arrive; only the
+	// context cancellation can release them.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunCtx(ctx, Config{Procs: 2, Timeout: 30 * time.Second}, func(c *Comm) error {
+		c.Recv(1-c.Rank(), 99)
+		return nil
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to release blocked ranks", elapsed)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, does not wrap context.Canceled", err)
+	}
+}
+
+func TestRunCtxCompletesNormallyUnderLiveContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st, err := RunCtx(ctx, Config{Procs: 4, Timeout: 10 * time.Second}, func(c *Comm) error {
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Messages == 0 {
+		t.Fatal("barrier exchanged no messages")
+	}
+}
+
+func TestRunCtxDeadlineClassifiedAsCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := RunCtx(ctx, Config{Procs: 2, Timeout: 30 * time.Second}, func(c *Comm) error {
+		c.Recv(1-c.Rank(), 99)
+		return nil
+	})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+	// The world's own Timeout must remain a distinct classification.
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("context deadline misclassified as world timeout: %v", err)
+	}
+}

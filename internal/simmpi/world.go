@@ -18,6 +18,7 @@
 package simmpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -44,6 +45,12 @@ var (
 	// ErrAborted reports that a communication call was interrupted because
 	// another rank failed first.
 	ErrAborted = errors.New("simmpi: world aborted")
+	// ErrCanceled reports that the caller's context canceled the world
+	// before it finished.  The wrapped error also matches the context's own
+	// cause (context.Canceled or context.DeadlineExceeded), so callers can
+	// distinguish external interruption from an application hang
+	// (ErrTimeout) or crash (*PanicError).
+	ErrCanceled = errors.New("simmpi: world canceled")
 )
 
 // RankError wraps an error returned by a rank's function.
@@ -123,6 +130,18 @@ type Stats struct {
 // rank panicked, ErrTimeout if the watchdog fired, or a *RankError wrapping
 // the first non-nil error returned by fn.  On success it returns nil.
 func Run(cfg Config, fn func(c *Comm) error) (Stats, error) {
+	return RunCtx(context.Background(), cfg, fn)
+}
+
+// RunCtx is Run under a context: when ctx is canceled (or its deadline
+// passes) the world aborts promptly — every rank blocked in a communication
+// call is released — and the error wraps both ErrCanceled and ctx.Err().
+// Ranks not blocked in communication finish their current compute section
+// before observing the abort.
+func RunCtx(ctx context.Context, cfg Config, fn func(c *Comm) error) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Procs < 1 {
 		return Stats{}, fmt.Errorf("simmpi: Procs must be >= 1, got %d", cfg.Procs)
 	}
@@ -165,16 +184,19 @@ func Run(cfg Config, fn func(c *Comm) error) (Stats, error) {
 		close(done)
 	}()
 
+	var timerC <-chan time.Time
 	if cfg.Timeout > 0 {
 		timer := time.NewTimer(cfg.Timeout)
 		defer timer.Stop()
-		select {
-		case <-done:
-		case <-timer.C:
-			w.fail(ErrTimeout)
-			<-done
-		}
-	} else {
+		timerC = timer.C
+	}
+	select {
+	case <-done:
+	case <-timerC:
+		w.fail(ErrTimeout)
+		<-done
+	case <-ctx.Done():
+		w.fail(fmt.Errorf("%w: %w", ErrCanceled, ctx.Err()))
 		<-done
 	}
 

@@ -1,6 +1,8 @@
 package resmod
 
 import (
+	"context"
+
 	"resmod/internal/apps"
 	"resmod/internal/core"
 	"resmod/internal/exper"
@@ -130,6 +132,25 @@ const (
 
 // RunCampaign executes a fault injection deployment.
 func RunCampaign(c Campaign) (*Summary, error) { return faultsim.Run(c) }
+
+// RunCampaignCtx executes a deployment under a context: cancellation (or
+// an exhausted Campaign.Budget) stops the trial workers promptly and
+// returns the partial Summary flagged Interrupted.  With
+// Campaign.Checkpoint set, the partial tallies are persisted and a later
+// run with Campaign.Resume continues bit-identically.
+func RunCampaignCtx(ctx context.Context, c Campaign) (*Summary, error) {
+	return faultsim.RunCtx(ctx, c)
+}
+
+// CampaignCheckpoint is the resumable snapshot of a partially executed
+// deployment (see Campaign.Checkpoint / Campaign.Resume).
+type CampaignCheckpoint = faultsim.Checkpoint
+
+// LoadCampaignCheckpoint reads a snapshot written by a checkpointing
+// campaign — for inspecting partial progress out of band.
+func LoadCampaignCheckpoint(path string) (*CampaignCheckpoint, error) {
+	return faultsim.LoadCheckpoint(path)
+}
 
 // ComputeGolden runs the fault-free execution of (app, class, procs).
 func ComputeGolden(app App, class string, procs int) (*Golden, error) {
