@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench experiments report clean
+.PHONY: all build vet test test-short race cover bench experiments report serve smoke clean
 
 all: build test
 
@@ -36,6 +36,16 @@ experiments:
 # statistical protocol is -trials 4000; 400 keeps a laptop run ~35 minutes.
 report:
 	$(GO) run ./cmd/resmod report -trials 400 > EXPERIMENTS.md
+
+# Run the prediction service (HTTP JSON API; see README "Running as a
+# service").  Results persist under ./results across restarts.
+serve:
+	$(GO) run ./cmd/resmod serve -listen 127.0.0.1:8080 -store ./results
+
+# Boot a throwaway service instance and exercise the cold->warm
+# prediction path end-to-end (also run in CI).
+smoke:
+	./scripts/smoke.sh
 
 clean:
 	$(GO) clean ./...

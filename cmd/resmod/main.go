@@ -22,6 +22,7 @@
 //	overhead  instruction-count growth from serial to 4 ranks (§1)
 //	predict   one custom prediction: -app, -small, -large
 //	all       every experiment above, in order
+//	serve     long-running prediction service (HTTP JSON API + /metrics)
 //
 // Common flags: -trials, -seed, -apps, -quiet, -workers.
 package main
@@ -100,6 +101,9 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	cmd := args[0]
 	if cmd == "campaign" {
 		return doCampaign(ctx, args[1:], out, errw)
+	}
+	if cmd == "serve" {
+		return doServe(ctx, args[1:], out, errw)
 	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(errw)
@@ -192,6 +196,7 @@ func usage(w io.Writer) {
 experiments: apps table1 table2 fig1 fig2 fig3 fig5 fig6 fig7 fig8 overhead predict all report
 extras:      campaign ablate trace stability baselines modelablate scalesweep advise
              (use -app, -class, -small, -large)
+service:     serve -listen HOST:PORT -store DIR -workers N -queue N -drain D
 flags: -trials N -seed N -apps CG,FT,... -quiet -workers N -budget D
        (predict only) -app NAME -class C -small S -large P
        (campaign only) -checkpoint FILE -resume -max-abnormal N -retries N

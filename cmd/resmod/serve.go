@@ -1,0 +1,129 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+
+	"resmod/internal/server"
+	"resmod/internal/store"
+)
+
+// serveOptions are the serve subcommand's flags, validated up front so a
+// misconfigured service exits non-zero with a usable message before it
+// binds the listener.
+type serveOptions struct {
+	listen          string
+	workers         int
+	queue           int
+	storeDir        string
+	cache           int
+	trials          int
+	seed            uint64
+	campaignWorkers int
+	drain           time.Duration
+	quiet           bool
+}
+
+// validate rejects configurations that could only fail later (or worse,
+// limp along): malformed listen addresses, non-positive pool sizes.
+func (o serveOptions) validate() error {
+	host, port, err := net.SplitHostPort(o.listen)
+	if err != nil {
+		return fmt.Errorf("-listen %q: %v (want host:port, e.g. 127.0.0.1:8080)", o.listen, err)
+	}
+	if p, err := strconv.Atoi(port); err != nil || p < 0 || p > 65535 {
+		return fmt.Errorf("-listen %q: port %q is not a number in 0..65535", o.listen, port)
+	}
+	if host != "" {
+		if ip := net.ParseIP(host); ip == nil && !validHostname(host) {
+			return fmt.Errorf("-listen %q: %q is neither an IP address nor a hostname", o.listen, host)
+		}
+	}
+	if o.workers <= 0 {
+		return fmt.Errorf("-workers must be positive, got %d", o.workers)
+	}
+	if o.queue <= 0 {
+		return fmt.Errorf("-queue must be positive, got %d", o.queue)
+	}
+	if o.cache <= 0 {
+		return fmt.Errorf("-cache must be positive, got %d", o.cache)
+	}
+	if o.trials <= 0 {
+		return fmt.Errorf("-trials must be positive, got %d", o.trials)
+	}
+	if o.campaignWorkers < 0 {
+		return fmt.Errorf("-campaign-workers must be non-negative, got %d", o.campaignWorkers)
+	}
+	if o.drain <= 0 {
+		return fmt.Errorf("-drain must be positive, got %v", o.drain)
+	}
+	return nil
+}
+
+// validHostname accepts DNS-ish names (letters, digits, '-', '.'): enough
+// to catch garbage like "not an address" without resolving anything.
+func validHostname(host string) bool {
+	if len(host) > 253 {
+		return false
+	}
+	for _, r := range host {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// doServe runs the prediction service until ctx is canceled (SIGINT or
+// SIGTERM from main), then drains gracefully.
+func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var o serveOptions
+	fs.StringVar(&o.listen, "listen", "127.0.0.1:8080", "host:port to bind")
+	fs.IntVar(&o.workers, "workers", 2, "concurrent prediction jobs")
+	fs.IntVar(&o.queue, "queue", 64, "max queued (accepted, unstarted) jobs")
+	fs.StringVar(&o.storeDir, "store", "", "result-store directory (empty: memory only)")
+	fs.IntVar(&o.cache, "cache", store.DefaultMaxEntries, "in-memory LRU capacity of the store")
+	fs.IntVar(&o.trials, "trials", 400, "fault injection tests per campaign (paper: 4000)")
+	fs.Uint64Var(&o.seed, "seed", 2018, "campaign seed")
+	fs.IntVar(&o.campaignWorkers, "campaign-workers", 0, "trial-level concurrency (default GOMAXPROCS)")
+	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+	if err := o.validate(); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	var logw io.Writer
+	if !o.quiet {
+		logw = errw
+	}
+	cfg := server.Config{
+		Trials: o.trials, Seed: o.seed,
+		Workers: o.workers, Queue: o.queue,
+		CampaignWorkers: o.campaignWorkers, Log: logw,
+	}
+	if o.storeDir != "" {
+		st, err := store.Open(store.Config{Dir: o.storeDir, MaxEntries: o.cache})
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		cfg.Store = st
+	}
+	srv := server.New(cfg)
+	return srv.ListenAndServe(ctx, o.listen, o.drain)
+}

@@ -40,6 +40,33 @@ type Config struct {
 	// that exhausts it is treated as interrupted and fails the
 	// experiment.
 	Budget time.Duration
+	// Cache, when non-nil, is a durable campaign-summary cache consulted
+	// before a campaign runs and updated after every clean, complete run
+	// (interrupted or failed campaigns are never cached).  Entries are
+	// keyed by the campaign's versioned Identity, so a summary restored
+	// from the cache is bit-identical to re-running the deployment.  The
+	// prediction service wires internal/store here, making identical
+	// campaigns compute once ever rather than once per process.
+	Cache SummaryCache
+	// OnCampaign, when non-nil, is called once for every campaign the
+	// session actually executes, with its identity key and summary.
+	// Cache hits — the in-process singleflight or the durable Cache —
+	// do not invoke it, which is exactly what lets the serve metrics
+	// count real fault-injection work (executed campaigns and trials)
+	// separately from cached answers.
+	OnCampaign func(identity string, sum *faultsim.Summary)
+}
+
+// SummaryCache is a durable store of campaign summaries keyed by
+// faultsim.Campaign.Identity().  Implementations must be safe for
+// concurrent use and treat corrupt or mismatched entries as misses.
+type SummaryCache interface {
+	// GetSummary returns the cached summary for the identity, if any.
+	GetSummary(identity string) (*faultsim.Summary, bool)
+	// PutSummary stores a complete summary under the identity.
+	// Implementations may drop entries (bounded caches, write errors);
+	// the cache is an accelerator, never the source of truth.
+	PutSummary(identity string, sum *faultsim.Summary)
 }
 
 func (c Config) withDefaults() Config {
@@ -141,11 +168,16 @@ func (s *Session) Golden(app apps.App, class string, procs int) (*faultsim.Golde
 // Budget exhausted) is not cached and is reported as an error carrying the
 // partial progress, so experiment drivers stop promptly.
 func (s *Session) Campaign(app apps.App, class string, procs, errors int, region faultsim.RegionMode) (*faultsim.Summary, error) {
-	if class == "" {
-		class = app.DefaultClass()
-	}
-	key := fmt.Sprintf("%s/%s/p%d/e%d/r%d/t%d", app.Name(), class, procs, errors,
-		int(region), s.cfg.Trials)
+	c := faultsim.Campaign{
+		App: app, Class: class, Procs: procs, Trials: s.cfg.Trials,
+		Errors: errors, Region: region, Seed: s.cfg.Seed,
+		Timeout: s.cfg.Timeout, Workers: s.cfg.Workers,
+		Budget: s.cfg.Budget,
+	}.Normalized()
+	// The singleflight key is the campaign's durable identity, so the
+	// in-process cache, checkpoints and Config.Cache all share one
+	// keyspace.
+	key := c.Identity()
 	s.mu.Lock()
 	call := s.camps[key]
 	if call == nil {
@@ -153,7 +185,7 @@ func (s *Session) Campaign(app apps.App, class string, procs, errors int, region
 		s.camps[key] = call
 	}
 	s.mu.Unlock()
-	call.once.Do(func() { call.sum, call.err = s.runCampaign(key, app, class, procs, errors, region) })
+	call.once.Do(func() { call.sum, call.err = s.runCampaign(key, c) })
 	if call.err != nil {
 		s.mu.Lock()
 		if s.camps[key] == call {
@@ -165,19 +197,21 @@ func (s *Session) Campaign(app apps.App, class string, procs, errors int, region
 	return call.sum, nil
 }
 
-// runCampaign executes one deployment for Campaign's singleflight slot.
-func (s *Session) runCampaign(key string, app apps.App, class string, procs, errors int, region faultsim.RegionMode) (*faultsim.Summary, error) {
-	golden, err := s.Golden(app, class, procs)
+// runCampaign executes one deployment for Campaign's singleflight slot:
+// durable-cache probe first, then the real fault-injection run.
+func (s *Session) runCampaign(key string, c faultsim.Campaign) (*faultsim.Summary, error) {
+	if s.cfg.Cache != nil {
+		if sum, ok := s.cfg.Cache.GetSummary(key); ok {
+			s.logf("campaign %-28s %s  [cached]", key, sum.Rates)
+			return sum, nil
+		}
+	}
+	golden, err := s.Golden(c.App, c.Class, c.Procs)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	sum, err := faultsim.RunAgainstCtx(s.ctx(), faultsim.Campaign{
-		App: app, Class: class, Procs: procs, Trials: s.cfg.Trials,
-		Errors: errors, Region: region, Seed: s.cfg.Seed,
-		Timeout: s.cfg.Timeout, Workers: s.cfg.Workers,
-		Budget: s.cfg.Budget,
-	}, golden)
+	sum, err := faultsim.RunAgainstCtx(s.ctx(), c, golden)
 	if err != nil {
 		return nil, fmt.Errorf("exper: campaign %s: %w", key, err)
 	}
@@ -186,6 +220,12 @@ func (s *Session) runCampaign(key string, app apps.App, class string, procs, err
 			key, sum.TrialsDone, s.cfg.Trials)
 	}
 	s.logf("campaign %-28s %s  [%v]", key, sum.Rates, time.Since(start).Round(time.Millisecond))
+	if s.cfg.OnCampaign != nil {
+		s.cfg.OnCampaign(key, sum)
+	}
+	if s.cfg.Cache != nil {
+		s.cfg.Cache.PutSummary(key, sum)
+	}
 	return sum, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"resmod/internal/apps"
+	"resmod/internal/faultsim"
 	"resmod/internal/fpe"
 	"resmod/internal/simmpi"
 )
@@ -48,6 +49,112 @@ func TestGoldenSingleflight(t *testing.T) {
 	// Eight concurrent requests for the same golden share one execution.
 	if got := runs.Load(); got != 1 {
 		t.Fatalf("golden executed %d times, want 1", got)
+	}
+}
+
+// memCache is a trivial SummaryCache for tests.
+type memCache struct {
+	mu   sync.Mutex
+	m    map[string]*faultsim.Summary
+	puts int
+	gets int
+}
+
+func newMemCache() *memCache { return &memCache{m: map[string]*faultsim.Summary{}} }
+
+func (c *memCache) GetSummary(id string) (*faultsim.Summary, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	s, ok := c.m[id]
+	return s, ok
+}
+
+func (c *memCache) PutSummary(id string, s *faultsim.Summary) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.m[id] = s
+}
+
+// TestCampaignDurableCache checks the Config.Cache seam: a second session
+// sharing the cache answers from it (no application executions, no
+// OnCampaign callback), and the identity-keyed entry round-trips the same
+// summary.
+func TestCampaignDurableCache(t *testing.T) {
+	var runs atomic.Int64
+	app := countingApp{runs: &runs}
+	cache := newMemCache()
+
+	var executed atomic.Int64
+	cold := NewSession(Config{Trials: 5, Seed: 1, Cache: cache,
+		OnCampaign: func(id string, sum *faultsim.Summary) {
+			if sum.TrialsDone != 5 {
+				t.Errorf("OnCampaign saw %d trials, want 5", sum.TrialsDone)
+			}
+			executed.Add(1)
+		}})
+	first, err := cold.Campaign(app, "", 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 1 || cache.puts != 1 {
+		t.Fatalf("cold run: executed=%d puts=%d, want 1/1", executed.Load(), cache.puts)
+	}
+	coldRuns := runs.Load()
+
+	// A fresh session (new process, same durable cache) must not re-run
+	// anything and must not report an executed campaign.
+	warm := NewSession(Config{Trials: 5, Seed: 1, Cache: cache,
+		OnCampaign: func(string, *faultsim.Summary) { executed.Add(1) }})
+	second, err := warm.Campaign(app, "", 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 1 {
+		t.Fatal("cache hit still invoked OnCampaign")
+	}
+	if runs.Load() != coldRuns {
+		t.Fatalf("cache hit re-ran the application (%d -> %d executions)",
+			coldRuns, runs.Load())
+	}
+	if second.Rates != first.Rates || second.TrialsDone != first.TrialsDone {
+		t.Fatalf("cached summary differs: %+v vs %+v", second.Rates, first.Rates)
+	}
+}
+
+// TestCampaignConcurrentSubmissions proves (under -race) that N identical
+// concurrent campaign requests execute the deployment exactly once and
+// write the durable cache exactly once.
+func TestCampaignConcurrentSubmissions(t *testing.T) {
+	var runs, executed atomic.Int64
+	app := countingApp{runs: &runs}
+	cache := newMemCache()
+	s := NewSession(Config{Trials: 5, Seed: 1, Cache: cache,
+		OnCampaign: func(string, *faultsim.Summary) { executed.Add(1) }})
+
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Campaign(app, "", 1, 1, 0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if executed.Load() != 1 {
+		t.Fatalf("%d identical submissions executed %d campaigns, want exactly 1",
+			n, executed.Load())
+	}
+	if cache.puts != 1 {
+		t.Fatalf("cache written %d times, want 1", cache.puts)
+	}
+	// 1 golden + 5 trials, shared by all 16 submissions.
+	if got := runs.Load(); got != 6 {
+		t.Fatalf("app executed %d times, want 6", got)
 	}
 }
 

@@ -176,36 +176,6 @@ type campaignHooks struct {
 	trialDone func(done uint64)
 }
 
-// Identity returns the campaign's deterministic identity string: every
-// field that affects trial outcomes (app/class/procs/errors/region/trials/
-// seed/pattern and the extension knobs).  Checkpoints are keyed by it so a
-// snapshot can never be resumed into a different deployment.  Call after
-// defaults are applied; RunAgainstCtx normalizes before computing it.
-func (c Campaign) Identity() string {
-	app := "?"
-	if c.App != nil {
-		app = c.App.Name()
-	}
-	id := fmt.Sprintf("%s/%s/p%d/t%d/e%d/r%d/s%d/pat%d",
-		app, c.Class, c.Procs, c.Trials, c.Errors, int(c.Region), c.Seed, int(c.Pattern))
-	if c.SpreadErrors {
-		id += "/spread"
-	}
-	if c.ContaminationTol != 0 {
-		id += fmt.Sprintf("/tol%g", c.ContaminationTol)
-	}
-	if c.KindMask != 0 {
-		id += fmt.Sprintf("/k%d", c.KindMask)
-	}
-	if c.FixedBit != nil {
-		id += fmt.Sprintf("/b%d", *c.FixedBit)
-	}
-	if c.Window != nil {
-		id += fmt.Sprintf("/w%g-%g", c.Window[0], c.Window[1])
-	}
-	return id
-}
-
 // drawOpts assembles the fpe drawing options from the campaign fields.
 func (c Campaign) drawOpts() fpe.DrawOpts {
 	return fpe.DrawOpts{

@@ -1,0 +1,117 @@
+package faultsim
+
+import (
+	"fmt"
+	"time"
+
+	"resmod/internal/stats"
+)
+
+// SummaryRecordVersion is the schema version of SummaryRecord, the stable
+// JSON form of a campaign Summary used by the prediction service's result
+// store.  Bump it whenever fields change meaning; Restore rejects records
+// of any other version, which turns stale store entries into cache misses
+// instead of silently wrong results.
+const SummaryRecordVersion = 1
+
+// SummaryRecord is the durable, versioned serialization of a Summary.
+// It carries the raw tallies rather than the derived Rates (which Restore
+// recomputes) and deliberately omits the Golden pointer: golden runs are
+// cheap to recompute and are cached separately by exper.Session, while a
+// record must stay small and self-contained on disk.
+type SummaryRecord struct {
+	// Version is the schema version (SummaryRecordVersion).
+	Version int
+	// Identity is the owning campaign's Campaign.Identity().
+	Identity string
+	// Success, SDC and Failure are the outcome tallies.
+	Success uint64
+	SDC     uint64
+	Failure uint64
+	// Hist is the contamination histogram counts (bin x-1 = x ranks).
+	Hist []uint64
+	// ByContamination holds the outcome counters conditioned on
+	// contamination count.
+	ByContamination map[int]stats.Counter
+	// Spread is the SpreadByDistance tally.
+	Spread []uint64
+	// TrialsDone and Abnormal mirror the Summary fields.
+	TrialsDone uint64
+	Abnormal   uint64
+	// AvgFired is the mean executed-injection count per completed test.
+	AvgFired float64
+	// ElapsedNS is the campaign wall time in nanoseconds (kept so cached
+	// summaries still report the paper's "fault injection time" axis).
+	ElapsedNS int64
+}
+
+// Record captures the Summary as a SummaryRecord keyed by identity.
+// Interrupted summaries have no stable record — their tallies cover an
+// unspecified trial subset — so Record returns nil for them.
+func (s *Summary) Record(identity string) *SummaryRecord {
+	if s == nil || s.Interrupted {
+		return nil
+	}
+	rec := &SummaryRecord{
+		Version:         SummaryRecordVersion,
+		Identity:        identity,
+		Success:         s.Counts.Success,
+		SDC:             s.Counts.SDC,
+		Failure:         s.Counts.Failure,
+		ByContamination: make(map[int]stats.Counter, len(s.ByContamination)),
+		Spread:          append([]uint64(nil), s.SpreadByDistance...),
+		TrialsDone:      s.TrialsDone,
+		Abnormal:        s.Abnormal,
+		AvgFired:        s.AvgFired,
+		ElapsedNS:       int64(s.Elapsed),
+	}
+	if s.Hist != nil {
+		rec.Hist = append([]uint64(nil), s.Hist.Counts...)
+	}
+	for x, bc := range s.ByContamination {
+		if bc != nil {
+			rec.ByContamination[x] = *bc
+		}
+	}
+	return rec
+}
+
+// Restore rebuilds the Summary a record was captured from (with a nil
+// Golden).  It validates the schema version and the internal consistency
+// of the tallies so a corrupt or stale store entry surfaces as an error —
+// callers treat that as a cache miss — never as a subtly wrong Summary.
+func (r *SummaryRecord) Restore() (*Summary, error) {
+	if r.Version != SummaryRecordVersion {
+		return nil, fmt.Errorf("faultsim: summary record version %d, want %d",
+			r.Version, SummaryRecordVersion)
+	}
+	counts := stats.Counter{Success: r.Success, SDC: r.SDC, Failure: r.Failure}
+	if counts.Total() != r.TrialsDone {
+		return nil, fmt.Errorf("faultsim: summary record tallies %d do not cover %d trials",
+			counts.Total(), r.TrialsDone)
+	}
+	var histed uint64
+	for _, n := range r.Hist {
+		histed += n
+	}
+	if histed != r.Success+r.SDC {
+		return nil, fmt.Errorf("faultsim: summary record histogram covers %d tests, want %d",
+			histed, r.Success+r.SDC)
+	}
+	sum := &Summary{
+		Rates:            counts.Rates(),
+		Counts:           counts,
+		Hist:             &stats.Hist{Counts: append([]uint64(nil), r.Hist...)},
+		ByContamination:  make(map[int]*stats.Counter, len(r.ByContamination)),
+		SpreadByDistance: append([]uint64(nil), r.Spread...),
+		Elapsed:          time.Duration(r.ElapsedNS),
+		AvgFired:         r.AvgFired,
+		TrialsDone:       r.TrialsDone,
+		Abnormal:         r.Abnormal,
+	}
+	for x, bc := range r.ByContamination {
+		cp := bc
+		sum.ByContamination[x] = &cp
+	}
+	return sum, nil
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resmod/internal/store"
+)
+
+// latencyBuckets are the prediction-latency histogram bounds in seconds.
+// Campaign work ranges from milliseconds (tiny test configs, warm golden
+// caches) to minutes (paper-scale trial counts), so the buckets span both.
+var latencyBuckets = []float64{0.005, 0.025, 0.1, 0.5, 1, 5, 15, 60, 300}
+
+// histogram is a Prometheus-style cumulative histogram.
+type histogram struct {
+	mu      sync.Mutex
+	buckets []uint64 // one per latencyBuckets bound, plus +Inf at the end
+	sum     float64
+	count   uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]uint64, len(latencyBuckets)+1)}
+}
+
+// observe records one sample.
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(latencyBuckets, v)
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+}
+
+// write emits the histogram in Prometheus text exposition format.
+func (h *histogram) write(w io.Writer, name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, le := range latencyBuckets {
+		cum += h.buckets[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum)
+	}
+	cum += h.buckets[len(latencyBuckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}
+
+// metrics is the service's hand-rolled metric registry (the repo is
+// stdlib-only, so there is no client_golang; /metrics emits the
+// Prometheus text format directly).
+type metrics struct {
+	start time.Time
+
+	mu           sync.Mutex
+	httpRequests map[string]uint64 // "METHOD|route|code" -> count
+
+	submitted   atomic.Uint64 // jobs accepted into the queue
+	joined      atomic.Uint64 // submissions that joined an existing job
+	cacheHits   atomic.Uint64 // submissions answered from the result store
+	cacheMisses atomic.Uint64 // submissions that had to compute
+	rejected    atomic.Uint64 // submissions refused (queue full / draining)
+
+	jobsDone     atomic.Uint64
+	jobsFailed   atomic.Uint64
+	jobsCanceled atomic.Uint64
+	inflight     atomic.Int64
+
+	campaigns atomic.Uint64 // campaigns actually executed (not cached)
+	trials    atomic.Uint64 // fault-injection trials actually executed
+
+	latency *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:        time.Now(),
+		httpRequests: make(map[string]uint64),
+		latency:      newHistogram(),
+	}
+}
+
+// request records one served HTTP request.
+func (m *metrics) request(method, route string, code int) {
+	key := fmt.Sprintf("%s|%s|%d", method, route, code)
+	m.mu.Lock()
+	m.httpRequests[key]++
+	m.mu.Unlock()
+}
+
+// write emits every metric in Prometheus text exposition format.
+// queueDepth is sampled by the caller; storeStats is nil when the server
+// runs without a store.
+func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(w, "# HELP resmod_http_requests_total Served HTTP requests.\n")
+	fmt.Fprintf(w, "# TYPE resmod_http_requests_total counter\n")
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.httpRequests))
+	for k := range m.httpRequests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts := strings.SplitN(k, "|", 3)
+		fmt.Fprintf(w, "resmod_http_requests_total{method=%q,path=%q,code=%q} %d\n",
+			parts[0], parts[1], parts[2], m.httpRequests[k])
+	}
+	m.mu.Unlock()
+
+	counter("resmod_predictions_submitted_total",
+		"Prediction jobs accepted into the queue.", m.submitted.Load())
+	counter("resmod_predictions_joined_total",
+		"Submissions deduplicated onto an already-known job.", m.joined.Load())
+	counter("resmod_prediction_cache_hits_total",
+		"Submissions answered from the durable result store.", m.cacheHits.Load())
+	counter("resmod_prediction_cache_misses_total",
+		"Submissions that required computation.", m.cacheMisses.Load())
+	counter("resmod_predictions_rejected_total",
+		"Submissions refused because the queue was full or the server was draining.",
+		m.rejected.Load())
+	counter("resmod_jobs_done_total", "Prediction jobs completed successfully.",
+		m.jobsDone.Load())
+	counter("resmod_jobs_failed_total", "Prediction jobs that ended in an error.",
+		m.jobsFailed.Load())
+	counter("resmod_jobs_canceled_total", "Prediction jobs canceled by shutdown.",
+		m.jobsCanceled.Load())
+	counter("resmod_campaigns_executed_total",
+		"Fault-injection campaigns actually executed (cache hits excluded).",
+		m.campaigns.Load())
+	counter("resmod_campaign_trials_total",
+		"Fault-injection trials actually executed (cache hits excluded).",
+		m.trials.Load())
+
+	gauge("resmod_queue_depth", "Jobs waiting in the scheduler queue.",
+		float64(queueDepth))
+	gauge("resmod_jobs_inflight", "Jobs currently being computed.",
+		float64(m.inflight.Load()))
+	gauge("resmod_uptime_seconds", "Seconds since the server started.",
+		time.Since(m.start).Seconds())
+
+	if storeStats != nil {
+		counter("resmod_store_hits_total", "Result-store lookups that found an entry.",
+			storeStats.Hits)
+		counter("resmod_store_misses_total", "Result-store lookups that found nothing.",
+			storeStats.Misses)
+		counter("resmod_store_puts_total", "Result-store writes.", storeStats.Puts)
+		counter("resmod_store_evictions_total", "Result-store LRU evictions.",
+			storeStats.Evictions)
+		counter("resmod_store_corrupt_total",
+			"Corrupt or partial store files skipped.", storeStats.Corrupt)
+	}
+
+	fmt.Fprintf(w, "# HELP resmod_prediction_duration_seconds Wall time of computed predictions.\n")
+	fmt.Fprintf(w, "# TYPE resmod_prediction_duration_seconds histogram\n")
+	m.latency.write(w, "resmod_prediction_duration_seconds")
+}

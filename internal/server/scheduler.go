@@ -1,0 +1,187 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"resmod/internal/exper"
+)
+
+// Job statuses, as reported by the API.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// PredictionRequest is the POST /v1/predictions body: one §4 prediction —
+// model the large-scale deployment from a serial campaign plus a
+// small-scale campaign.  Trials and seed are server configuration, not
+// request fields: they are part of the statistical protocol the service
+// guarantees, and keeping them server-side is what makes results
+// shareable across clients.
+type PredictionRequest struct {
+	// App is the registered benchmark name ("CG", "FT", ...).
+	App string `json:"app"`
+	// Class is the problem class (empty = the app's default).
+	Class string `json:"class,omitempty"`
+	// Small is the small-scale rank count the model profiles at.
+	Small int `json:"small"`
+	// Large is the target scale being predicted.
+	Large int `json:"large"`
+}
+
+// PredictionKeyVersion versions the prediction-store key schema.
+const PredictionKeyVersion = 1
+
+// key returns the request's content-address input: every model input that
+// determines the result (the campaign identities underneath are functions
+// of exactly these plus the server's trials/seed).  Class must already be
+// resolved to its default.
+func (r PredictionRequest) key(trials int, seed uint64) string {
+	return fmt.Sprintf("pred:v%d/%s/%s/s%d/p%d/t%d/seed%d",
+		PredictionKeyVersion, r.App, r.Class, r.Small, r.Large, trials, seed)
+}
+
+// jobID derives the externally visible job identifier from a prediction
+// key: a 16-hex-digit prefix of its SHA-256.  Content addressing is what
+// makes identical submissions — concurrent or days apart — share one job.
+func jobID(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(h[:8])
+}
+
+// Prediction is the API view of a prediction job.
+type Prediction struct {
+	ID      string            `json:"id"`
+	Status  string            `json:"status"`
+	Cached  bool              `json:"cached"`
+	Request PredictionRequest `json:"request"`
+	// Result is present once Status is "done".
+	Result *exper.PredictionRow `json:"result,omitempty"`
+	// Error is present when Status is "failed" or "canceled".
+	Error string `json:"error,omitempty"`
+	// SubmittedAt is the submission time; ElapsedMS the compute wall time
+	// once the job finished (0 for store-served answers).
+	SubmittedAt time.Time `json:"submitted_at"`
+	ElapsedMS   int64     `json:"elapsed_ms,omitempty"`
+}
+
+// job is one scheduled prediction with its own lock (the server's map
+// lock must not be held while a job runs).
+type job struct {
+	id  string
+	key string
+	req PredictionRequest
+
+	mu        sync.Mutex
+	status    string
+	cached    bool
+	row       *exper.PredictionRow
+	err       string
+	submitted time.Time
+	elapsed   time.Duration
+}
+
+// view snapshots the job for JSON rendering.
+func (j *job) view() Prediction {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Prediction{
+		ID: j.id, Status: j.status, Cached: j.cached, Request: j.req,
+		Result: j.row, Error: j.err, SubmittedAt: j.submitted,
+		ElapsedMS: j.elapsed.Milliseconds(),
+	}
+}
+
+// retryable reports whether a resubmission should replace this job
+// (failed or canceled terminal states) instead of joining it.
+func (j *job) retryable() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == StatusFailed || j.status == StatusCanceled
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.mu.Unlock()
+}
+
+func (j *job) complete(row *exper.PredictionRow, elapsed time.Duration) {
+	j.mu.Lock()
+	j.status = StatusDone
+	j.row = row
+	j.elapsed = elapsed
+	j.mu.Unlock()
+}
+
+func (j *job) fail(status string, err error, elapsed time.Duration) {
+	j.mu.Lock()
+	j.status = status
+	j.err = err.Error()
+	j.elapsed = elapsed
+	j.mu.Unlock()
+}
+
+// worker is one scheduler goroutine: it drains the queue until the server
+// starts closing, finishing the job it already holds (graceful drain).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// Prefer quit so a draining server stops picking up queued work
+		// even while the queue is non-empty.
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob computes one prediction through the shared session (whose
+// singleflight and durable cache dedupe the campaigns underneath) and
+// persists the result.
+func (s *Server) runJob(j *job) {
+	j.setRunning()
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	start := time.Now()
+	row, err := exper.PredictOne(s.session, j.req.App, j.req.Class, j.req.Small, j.req.Large)
+	elapsed := time.Since(start)
+	switch {
+	case err == nil:
+		j.complete(row, elapsed)
+		s.metrics.jobsDone.Add(1)
+		s.metrics.latency.observe(elapsed.Seconds())
+		s.putPrediction(j.key, j.req, row)
+	case s.interrupted(err):
+		j.fail(StatusCanceled, fmt.Errorf("canceled by server shutdown: %w", err), elapsed)
+		s.metrics.jobsCanceled.Add(1)
+	default:
+		j.fail(StatusFailed, err, elapsed)
+		s.metrics.jobsFailed.Add(1)
+	}
+	s.logf("job %s %s %s (%v)", j.id, j.req.App, j.view().Status, elapsed.Round(time.Millisecond))
+}
+
+// interrupted reports whether a job error came from the forced-drain
+// cancellation rather than the prediction itself.  Session campaign
+// interruptions are reported as plain errors carrying partial progress,
+// so once the base context is canceled every job error is an
+// interruption, not a prediction failure.
+func (s *Server) interrupted(err error) bool {
+	return s.baseCtx.Err() != nil
+}

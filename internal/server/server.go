@@ -1,0 +1,453 @@
+// Package server implements the resmod prediction service: a long-running
+// HTTP JSON API over the paper's §4 model.  Submissions are scheduled on a
+// bounded worker pool; identical requests are content-addressed so
+// concurrent duplicates join one job (and, one layer down, the shared
+// exper.Session singleflights identical campaigns), while a durable
+// internal/store result store answers repeats — across process restarts —
+// without re-running any campaign.
+//
+// Endpoints:
+//
+//	POST /v1/predictions        submit {"app","class","small","large"}
+//	GET  /v1/predictions/{id}   poll a job
+//	GET  /v1/predictions        list known jobs
+//	GET  /v1/apps               registered benchmarks
+//	GET  /healthz               liveness + queue snapshot
+//	GET  /metrics               Prometheus text exposition
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"resmod/internal/apps"
+	"resmod/internal/exper"
+	"resmod/internal/faultsim"
+	"resmod/internal/store"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Trials and Seed fix the statistical protocol every served
+	// prediction uses (they are part of the result-store key).
+	Trials int
+	Seed   uint64
+	// Workers is the scheduler pool size: how many predictions compute
+	// concurrently (default 1).
+	Workers int
+	// Queue bounds the number of accepted-but-unstarted jobs; beyond it
+	// submissions are refused with 503 (default 64).
+	Queue int
+	// CampaignWorkers is the per-campaign trial concurrency handed to the
+	// session (default GOMAXPROCS).
+	CampaignWorkers int
+	// Timeout is the per-trial hang budget (default apps.DefaultTimeout).
+	Timeout time.Duration
+	// Store, when non-nil, persists campaign summaries and prediction
+	// rows so identical work is computed once ever.
+	Store *store.Store
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials <= 0 {
+		c.Trials = 400
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	return c
+}
+
+// Server is the prediction service.
+type Server struct {
+	cfg     Config
+	session *exper.Session
+	metrics *metrics
+	mux     *http.ServeMux
+
+	baseCtx   context.Context
+	cancel    context.CancelFunc
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	queue     chan *job
+
+	mu   sync.Mutex
+	jobs map[string]*job
+}
+
+// New builds the service and starts its worker pool.  Callers own the
+// HTTP listener (Handler / ListenAndServe) and must Close to drain.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		quit:    make(chan struct{}),
+		queue:   make(chan *job, cfg.Queue),
+		jobs:    make(map[string]*job),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+
+	sessCfg := exper.Config{
+		Trials: cfg.Trials, Seed: cfg.Seed, Workers: cfg.CampaignWorkers,
+		Timeout: cfg.Timeout, Log: cfg.Log, Ctx: s.baseCtx,
+		OnCampaign: func(identity string, sum *faultsim.Summary) {
+			s.metrics.campaigns.Add(1)
+			s.metrics.trials.Add(sum.TrialsDone)
+		},
+	}
+	if cfg.Store != nil {
+		sessCfg.Cache = store.CampaignCache{Store: cfg.Store}
+	}
+	s.session = exper.NewSession(sessCfg)
+
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/predictions", s.instrument("/v1/predictions", s.handleSubmit))
+	mux.Handle("GET /v1/predictions/{id}", s.instrument("/v1/predictions/{id}", s.handleGet))
+	mux.Handle("GET /v1/predictions", s.instrument("/v1/predictions", s.handleList))
+	mux.Handle("GET /v1/apps", s.instrument("/v1/apps", s.handleApps))
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux = mux
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe binds addr and serves until ctx is canceled, then shuts
+// the listener down and drains: in-flight predictions finish (bounded by
+// drain), queued ones are canceled.  This is the serve subcommand's whole
+// lifecycle — ctx is the CLI's SIGINT/SIGTERM context.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	hs := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	s.logf("serving on http://%s (workers=%d queue=%d trials=%d seed=%d)",
+		ln.Addr(), s.cfg.Workers, s.cfg.Queue, s.cfg.Trials, s.cfg.Seed)
+
+	select {
+	case err := <-errc:
+		s.cancel()
+		_ = s.Close(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("draining (up to %v)...", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	_ = hs.Shutdown(drainCtx)
+	if err := s.Close(drainCtx); err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	s.logf("drained cleanly")
+	return nil
+}
+
+// Close drains the scheduler: workers finish the job they hold, queued
+// jobs are canceled.  If ctx expires first the in-flight campaigns are
+// interrupted through the session context (finishing promptly with
+// partial summaries that are never cached) and an error is returned.
+func (s *Server) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() { close(s.quit) })
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancel() // force: interrupt in-flight campaigns
+		<-done
+		err = fmt.Errorf("forced drain after %w", ctx.Err())
+	}
+	// Whatever is still queued never started; mark it canceled so polling
+	// clients get a terminal status.
+	for {
+		select {
+		case j := <-s.queue:
+			j.fail(StatusCanceled, errors.New("canceled: server shut down before the job started"), 0)
+			s.metrics.jobsCanceled.Add(1)
+		default:
+			s.cancel()
+			return err
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, "serve: "+format+"\n", args...)
+	}
+}
+
+// ---- handlers -------------------------------------------------------------
+
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route request counting.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.request(r.Method, route, rec.code)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// validate resolves and checks a submission, returning the normalized
+// request (class defaulted) or a client-facing error.
+func (s *Server) validate(req PredictionRequest) (PredictionRequest, error) {
+	a, err := apps.Lookup(req.App)
+	if err != nil {
+		return req, fmt.Errorf("unknown app %q (GET /v1/apps lists the registered benchmarks)", req.App)
+	}
+	req.App = a.Name()
+	if req.Class == "" {
+		req.Class = a.DefaultClass()
+	}
+	classOK := false
+	for _, c := range a.Classes() {
+		if c == req.Class {
+			classOK = true
+			break
+		}
+	}
+	if !classOK {
+		return req, fmt.Errorf("app %s has no class %q (classes: %v)", req.App, req.Class, a.Classes())
+	}
+	if req.Small < 1 || req.Large < 2 || req.Small >= req.Large {
+		return req, fmt.Errorf("want 1 <= small < large, got small=%d large=%d", req.Small, req.Large)
+	}
+	if req.Large%req.Small != 0 {
+		return req, fmt.Errorf("small must divide large (the paper's sampling map), got %d and %d",
+			req.Small, req.Large)
+	}
+	if err := apps.CheckProcs(a, req.Class, req.Large); err != nil {
+		return req, err
+	}
+	if err := apps.CheckProcs(a, req.Class, req.Small); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// handleSubmit is POST /v1/predictions.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req PredictionRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	req, err := s.validate(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid prediction request: %v", err)
+		return
+	}
+	key := req.key(s.cfg.Trials, s.cfg.Seed)
+	id := jobID(key)
+
+	// The whole submit decision is one critical section so concurrent
+	// identical submissions cannot double-create a job.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok && !j.retryable() {
+		s.metrics.joined.Add(1)
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	if row, ok := s.getPrediction(key); ok {
+		j := &job{id: id, key: key, req: req, status: StatusDone,
+			cached: true, row: row, submitted: time.Now()}
+		s.jobs[id] = j
+		s.metrics.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	select {
+	case <-s.quit:
+		s.metrics.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	default:
+	}
+	j := &job{id: id, key: key, req: req, status: StatusQueued, submitted: time.Now()}
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+		s.metrics.submitted.Add(1)
+		writeJSON(w, http.StatusAccepted, j.view())
+	default:
+		s.metrics.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable,
+			"queue full (%d jobs waiting); retry later", s.cfg.Queue)
+	}
+}
+
+// handleGet is GET /v1/predictions/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no prediction %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleList is GET /v1/predictions.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]Prediction, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		views = append(views, j.view())
+	}
+	s.mu.Unlock()
+	sort.Slice(views, func(i, k int) bool {
+		if !views[i].SubmittedAt.Equal(views[k].SubmittedAt) {
+			return views[i].SubmittedAt.Before(views[k].SubmittedAt)
+		}
+		return views[i].ID < views[k].ID
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"predictions": views})
+}
+
+// appInfo is one GET /v1/apps entry.
+type appInfo struct {
+	Name         string         `json:"name"`
+	Classes      []string       `json:"classes"`
+	DefaultClass string         `json:"default_class"`
+	MaxProcs     map[string]int `json:"max_procs"`
+}
+
+// handleApps is GET /v1/apps.
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	var infos []appInfo
+	for _, name := range apps.Names() {
+		a, err := apps.Lookup(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		info := appInfo{
+			Name: a.Name(), Classes: a.Classes(), DefaultClass: a.DefaultClass(),
+			MaxProcs: make(map[string]int, len(a.Classes())),
+		}
+		for _, c := range a.Classes() {
+			info.MaxProcs[c] = a.MaxProcs(c)
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"apps": infos})
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+		"queue_depth":    len(s.queue),
+		"jobs":           jobs,
+		"workers":        s.cfg.Workers,
+	})
+}
+
+// handleMetrics is GET /metrics (Prometheus text exposition format).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var storeStats *store.Stats
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		storeStats = &st
+	}
+	s.metrics.write(w, len(s.queue), storeStats)
+}
+
+// ---- prediction store ------------------------------------------------------
+
+// storedPrediction is the result-store document for one prediction.
+type storedPrediction struct {
+	Version int                 `json:"version"`
+	Key     string              `json:"key"`
+	Request PredictionRequest   `json:"request"`
+	Row     exper.PredictionRow `json:"row"`
+}
+
+// getPrediction probes the store for a finished prediction.
+func (s *Server) getPrediction(key string) (*exper.PredictionRow, bool) {
+	if s.cfg.Store == nil {
+		return nil, false
+	}
+	var sp storedPrediction
+	if !s.cfg.Store.GetJSON(key, &sp) {
+		return nil, false
+	}
+	if sp.Version != PredictionKeyVersion || sp.Key != key {
+		return nil, false
+	}
+	row := sp.Row
+	return &row, true
+}
+
+// putPrediction persists a finished prediction (best effort).
+func (s *Server) putPrediction(key string, req PredictionRequest, row *exper.PredictionRow) {
+	if s.cfg.Store == nil || row == nil {
+		return
+	}
+	err := s.cfg.Store.PutJSON(key, storedPrediction{
+		Version: PredictionKeyVersion, Key: key, Request: req, Row: *row,
+	})
+	if err != nil {
+		s.logf("storing prediction %s: %v", key, err)
+	}
+}

@@ -1,0 +1,43 @@
+package store
+
+import (
+	"resmod/internal/faultsim"
+)
+
+// CampaignCache adapts a Store to exper.Config.Cache: campaign summaries
+// serialized as versioned faultsim.SummaryRecord documents, keyed by the
+// campaign's Identity.  With it wired into a session, an identical
+// campaign is computed once ever — later processes restore the summary
+// bit-identically from disk.
+type CampaignCache struct {
+	Store *Store
+}
+
+// GetSummary restores the summary cached under the campaign identity.
+// Records that fail to decode, carry a different identity, or fail
+// Restore's consistency checks are misses.
+func (c CampaignCache) GetSummary(identity string) (*faultsim.Summary, bool) {
+	rec := &faultsim.SummaryRecord{}
+	if !c.Store.GetJSON(identity, rec) {
+		return nil, false
+	}
+	if rec.Identity != identity {
+		return nil, false
+	}
+	sum, err := rec.Restore()
+	if err != nil {
+		return nil, false
+	}
+	return sum, true
+}
+
+// PutSummary stores the summary under the campaign identity.  Summaries
+// with no stable record (interrupted) and write errors are ignored — the
+// cache accelerates, it is never the source of truth.
+func (c CampaignCache) PutSummary(identity string, sum *faultsim.Summary) {
+	rec := sum.Record(identity)
+	if rec == nil {
+		return
+	}
+	_ = c.Store.PutJSON(identity, rec)
+}

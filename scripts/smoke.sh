@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Smoke test for `resmod serve`: boots the real binary with a throwaway
+# store, computes one prediction, restarts the server over the same
+# store, and checks the identical POST is answered from disk (flagged
+# cached, reported in /metrics) — with a clean SIGTERM drain both times.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+pid=
+log=
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "smoke: FAIL: $*" >&2
+    echo "--- $log ---" >&2
+    cat "$log" >&2 || true
+    exit 1
+}
+
+# boot NAME: start the service, wait for its ephemeral address (read off
+# the startup log line) and a passing /healthz; sets $pid, $log, $addr.
+boot() {
+    log="$workdir/$1.log"
+    "$workdir/resmod" serve -listen 127.0.0.1:0 -store "$workdir/store" \
+        -trials 10 -workers 1 -drain 30s 2>"$log" &
+    pid=$!
+    addr=
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's#^serve: serving on http://\([^ ]*\).*#\1#p' "$log")
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || fail "server exited before binding"
+        sleep 0.1
+    done
+    [ -n "$addr" ] || fail "server never logged its address"
+    curl -fsS "http://$addr/healthz" | grep -q '"status": "ok"' || fail "/healthz"
+}
+
+# shutdown: SIGTERM must drain cleanly and exit 0.
+shutdown() {
+    kill -TERM "$pid"
+    wait "$pid" || fail "non-zero exit after SIGTERM"
+    grep -q "drained cleanly" "$log" || fail "no clean-drain log line"
+    pid=
+}
+
+go build -o "$workdir/resmod" ./cmd/resmod
+body='{"app":"PENNANT","small":4,"large":8}'
+
+# --- cold run: compute one prediction, then stop -------------------------
+boot cold
+id=$(curl -fsS -X POST "http://$addr/v1/predictions" -d "$body" |
+    sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p') || true
+[ -n "$id" ] || fail "submit returned no job id"
+
+status=
+for _ in $(seq 1 300); do
+    status=$(curl -fsS "http://$addr/v1/predictions/$id" |
+        sed -n 's/.*"status": "\([a-z]*\)".*/\1/p') || true
+    [ "$status" = done ] && break
+    { [ "$status" = failed ] || [ "$status" = canceled ]; } && fail "job ended $status"
+    sleep 0.1
+done
+[ "$status" = done ] || fail "job stuck in '$status'"
+shutdown
+
+# --- warm run: a fresh process over the same store answers from disk -----
+boot warm
+curl -fsS -X POST "http://$addr/v1/predictions" -d "$body" |
+    grep -q '"cached": true' || fail "warm POST not served from the store"
+curl -fsS "http://$addr/metrics" |
+    grep -q '^resmod_prediction_cache_hits_total 1$' || fail "cache hit missing from /metrics"
+curl -fsS "http://$addr/metrics" |
+    grep -q '^resmod_campaign_trials_total 0$' || fail "warm server re-ran campaign trials"
+shutdown
+
+echo "smoke: OK (cold compute, warm store hit across restart, clean drains)"
