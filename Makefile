@@ -2,12 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench experiments report serve smoke clean
+.PHONY: all build fmt vet test test-short race cover bench experiments report serve smoke trace clean
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+fmt:
+	gofmt -l -w .
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +49,12 @@ serve:
 # prediction path end-to-end (also run in CI).
 smoke:
 	./scripts/smoke.sh
+
+# Capture a Chrome trace of a small campaign into trace.json (open it
+# in chrome://tracing or https://ui.perfetto.dev).  CI runs the same
+# path via scripts/tracecheck.sh, which also validates the JSON.
+trace:
+	$(GO) run ./cmd/resmod campaign -app PENNANT -procs 4 -trials 200 -trace trace.json
 
 clean:
 	$(GO) clean ./...

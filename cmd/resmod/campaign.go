@@ -46,6 +46,8 @@ func doCampaign(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var o campaignOptions
+	var tf telFlags
+	tf.register(fs)
 	fs.StringVar(&o.app, "app", "CG", "benchmark")
 	fs.StringVar(&o.class, "class", "", "problem class (default: app default)")
 	fs.IntVar(&o.procs, "procs", 8, "rank count")
@@ -126,8 +128,14 @@ func doCampaign(ctx context.Context, args []string, out, errw io.Writer) error {
 		c.Window = &win
 	}
 
+	rt := tf.setup(errw)
+	tctx, root := rt.context(ctx, "resmod campaign")
 	start := time.Now()
-	sum, err := faultsim.RunCtx(ctx, c)
+	sum, err := faultsim.RunCtx(tctx, c)
+	root.End()
+	if ferr := rt.finish(errw); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return err
 	}

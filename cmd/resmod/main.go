@@ -24,7 +24,9 @@
 //	all       every experiment above, in order
 //	serve     long-running prediction service (HTTP JSON API + /metrics)
 //
-// Common flags: -trials, -seed, -apps, -quiet, -workers.
+// Common flags: -trials, -seed, -apps, -workers, and the observability
+// trio every subcommand shares: -quiet (warnings only), -v (debug),
+// -trace FILE (Chrome trace-event JSON of the run's spans).
 package main
 
 import (
@@ -108,10 +110,11 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var o options
+	var tf telFlags
+	tf.register(fs)
 	fs.IntVar(&o.trials, "trials", 400, "fault injection tests per deployment (paper: 4000)")
 	fs.Uint64Var(&o.seed, "seed", 2018, "campaign seed")
 	fs.StringVar(&o.apps, "apps", "", "comma-separated benchmark subset (default: all)")
-	fs.BoolVar(&o.quiet, "quiet", false, "suppress per-campaign progress")
 	fs.IntVar(&o.workers, "workers", 0, "trial-level concurrency (default GOMAXPROCS)")
 	fs.StringVar(&o.app, "app", "CG", "benchmark for the predict experiment")
 	fs.StringVar(&o.class, "class", "", "problem class (default: app default)")
@@ -122,14 +125,13 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	o.quiet = tf.quiet
 
-	var logw io.Writer
-	if !o.quiet {
-		logw = errw
-	}
+	rt := tf.setup(errw)
+	tctx, root := rt.context(ctx, "resmod "+cmd)
 	s := exper.NewSession(exper.Config{
-		Trials: o.trials, Seed: o.seed, Workers: o.workers, Log: logw,
-		Ctx: ctx, Budget: o.budget,
+		Trials: o.trials, Seed: o.seed, Workers: o.workers,
+		Ctx: tctx, Budget: o.budget,
 	})
 	names := splitApps(o.apps)
 
@@ -182,6 +184,10 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		usage(errw)
 		return fmt.Errorf("unknown experiment %q", cmd)
 	}
+	root.End()
+	if ferr := rt.finish(errw); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return err
 	}
@@ -197,7 +203,9 @@ experiments: apps table1 table2 fig1 fig2 fig3 fig5 fig6 fig7 fig8 overhead pred
 extras:      campaign ablate trace stability baselines modelablate scalesweep advise
              (use -app, -class, -small, -large)
 service:     serve -listen HOST:PORT -store DIR -workers N -queue N -drain D
-flags: -trials N -seed N -apps CG,FT,... -quiet -workers N -budget D
+             -pprof-addr HOST:PORT (optional net/http/pprof listener)
+flags: -trials N -seed N -apps CG,FT,... -workers N -budget D
+       -quiet (warnings only) -v (debug) -trace FILE (Chrome trace JSON)
        (predict only) -app NAME -class C -small S -large P
        (campaign only) -checkpoint FILE -resume -max-abnormal N -retries N
 SIGINT/SIGTERM stops campaigns promptly, preserving partial results

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -26,22 +28,19 @@ type serveOptions struct {
 	seed            uint64
 	campaignWorkers int
 	drain           time.Duration
-	quiet           bool
+	pprofAddr       string
+	tf              telFlags
 }
 
 // validate rejects configurations that could only fail later (or worse,
 // limp along): malformed listen addresses, non-positive pool sizes.
 func (o serveOptions) validate() error {
-	host, port, err := net.SplitHostPort(o.listen)
-	if err != nil {
-		return fmt.Errorf("-listen %q: %v (want host:port, e.g. 127.0.0.1:8080)", o.listen, err)
+	if err := validListenAddr("-listen", o.listen); err != nil {
+		return err
 	}
-	if p, err := strconv.Atoi(port); err != nil || p < 0 || p > 65535 {
-		return fmt.Errorf("-listen %q: port %q is not a number in 0..65535", o.listen, port)
-	}
-	if host != "" {
-		if ip := net.ParseIP(host); ip == nil && !validHostname(host) {
-			return fmt.Errorf("-listen %q: %q is neither an IP address nor a hostname", o.listen, host)
+	if o.pprofAddr != "" {
+		if err := validListenAddr("-pprof-addr", o.pprofAddr); err != nil {
+			return err
 		}
 	}
 	if o.workers <= 0 {
@@ -61,6 +60,23 @@ func (o serveOptions) validate() error {
 	}
 	if o.drain <= 0 {
 		return fmt.Errorf("-drain must be positive, got %v", o.drain)
+	}
+	return nil
+}
+
+// validListenAddr checks a host:port flag value without resolving it.
+func validListenAddr(flagName, addr string) error {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("%s %q: %v (want host:port, e.g. 127.0.0.1:8080)", flagName, addr, err)
+	}
+	if p, err := strconv.Atoi(port); err != nil || p < 0 || p > 65535 {
+		return fmt.Errorf("%s %q: port %q is not a number in 0..65535", flagName, addr, port)
+	}
+	if host != "" {
+		if ip := net.ParseIP(host); ip == nil && !validHostname(host) {
+			return fmt.Errorf("%s %q: %q is neither an IP address nor a hostname", flagName, addr, host)
+		}
 	}
 	return nil
 }
@@ -97,7 +113,8 @@ func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs.Uint64Var(&o.seed, "seed", 2018, "campaign seed")
 	fs.IntVar(&o.campaignWorkers, "campaign-workers", 0, "trial-level concurrency (default GOMAXPROCS)")
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
-	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress lines")
+	fs.StringVar(&o.pprofAddr, "pprof-addr", "", "host:port for a net/http/pprof listener (empty: disabled)")
+	o.tf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,14 +125,13 @@ func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
 		return fmt.Errorf("serve: %w", err)
 	}
 
-	var logw io.Writer
-	if !o.quiet {
-		logw = errw
-	}
+	rt := o.tf.setup(errw)
 	cfg := server.Config{
 		Trials: o.trials, Seed: o.seed,
 		Workers: o.workers, Queue: o.queue,
-		CampaignWorkers: o.campaignWorkers, Log: logw,
+		CampaignWorkers: o.campaignWorkers,
+		Logger:          rt.tel.Logger(),
+		Tracer:          rt.tracer,
 	}
 	if o.storeDir != "" {
 		st, err := store.Open(store.Config{Dir: o.storeDir, MaxEntries: o.cache})
@@ -124,6 +140,29 @@ func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
 		}
 		cfg.Store = st
 	}
+
+	// The pprof endpoints live on their own listener (off by default) so
+	// profiling access never shares the service port.
+	if o.pprofAddr != "" {
+		pln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("serve: pprof: %w", err)
+		}
+		defer pln.Close()
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() { _ = http.Serve(pln, pmux) }()
+		rt.tel.Logger().Info(fmt.Sprintf("pprof listening on http://%s/debug/pprof/", pln.Addr()))
+	}
+
 	srv := server.New(cfg)
-	return srv.ListenAndServe(ctx, o.listen, o.drain)
+	err := srv.ListenAndServe(ctx, o.listen, o.drain)
+	if ferr := rt.finish(errw); ferr != nil && err == nil {
+		err = ferr
+	}
+	return err
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"resmod/internal/telemetry"
+)
+
+// telFlags are the unified observability flags every subcommand shares:
+// -quiet caps events at warnings, -v opens debug, -trace writes the
+// run's spans as Chrome trace-event JSON.
+type telFlags struct {
+	quiet   bool
+	verbose bool
+	trace   string
+}
+
+// register installs the flags on a subcommand's FlagSet.
+func (t *telFlags) register(fs *flag.FlagSet) {
+	fs.BoolVar(&t.quiet, "quiet", false, "log only warnings and errors")
+	fs.BoolVar(&t.verbose, "v", false, "log debug events")
+	fs.StringVar(&t.trace, "trace", "", "write spans as Chrome trace-event JSON to `file`")
+}
+
+// runTelemetry is one CLI invocation's live telemetry: the bundle its
+// context carries, plus the recorder and tracer finish renders.
+type runTelemetry struct {
+	flags  telFlags
+	tel    *telemetry.Telemetry
+	tracer *telemetry.Tracer
+	rec    *telemetry.Recorder
+}
+
+// setup builds the invocation's telemetry from the parsed flags: events
+// to errw at the selected level, a tracer only when -trace asked for
+// one, and a metrics recorder for the end-of-run summary.
+func (t telFlags) setup(errw io.Writer) *runTelemetry {
+	var tr *telemetry.Tracer
+	if t.trace != "" {
+		tr = telemetry.NewTracer()
+	}
+	rec := telemetry.NewRecorder()
+	logger := telemetry.NewLogger(errw, telemetry.Level(t.quiet, t.verbose))
+	return &runTelemetry{
+		flags:  t,
+		tel:    telemetry.New(logger, tr, rec),
+		tracer: tr,
+		rec:    rec,
+	}
+}
+
+// context attaches the bundle and opens the root span; end the returned
+// span before calling finish.
+func (r *runTelemetry) context(ctx context.Context, name string) (context.Context, *telemetry.Span) {
+	ctx = telemetry.With(ctx, r.tel)
+	return r.tel.Tracer().Start(ctx, name)
+}
+
+// finish writes the -trace file (when requested) and renders the
+// telemetry summary block to errw.  Call it after the root span ended;
+// it returns the first error that would lose data (a trace that could
+// not be written).
+func (r *runTelemetry) finish(errw io.Writer) error {
+	if r.flags.trace != "" {
+		f, err := os.Create(r.flags.trace)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := r.tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: writing %s: %w", r.flags.trace, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace: closing %s: %w", r.flags.trace, err)
+		}
+		r.tel.Logger().Info("trace written", "path", r.flags.trace,
+			"spans", len(r.tracer.Spans()))
+	}
+	if s := r.rec.Snapshot(); !r.flags.quiet && !s.Empty() {
+		telemetry.WriteSummary(errw, s)
+	}
+	return nil
+}

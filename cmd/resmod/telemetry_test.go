@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCampaignTraceFlag runs a tiny campaign with -trace and checks the
+// emitted file is a well-formed Chrome trace with the expected spans.
+func TestCampaignTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	runCmd(t, "campaign", "-app", "PENNANT", "-procs", "2", "-trials", "4",
+		"-quiet", "-trace", path)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, data)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("span %s has ph %q, want X", ev.Name, ev.Ph)
+		}
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"resmod campaign", "golden", "campaign", "trial-batch"} {
+		if !names[want] {
+			t.Fatalf("trace missing %q span; got %v", want, names)
+		}
+	}
+}
+
+// TestVerboseAndSummary checks -v opens debug events and that a
+// non-quiet campaign prints the telemetry summary block to stderr.
+func TestVerboseAndSummary(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"campaign", "-app", "PENNANT", "-procs", "2", "-trials", "4", "-v"}
+	if err := run(context.Background(), args, &out, &errw); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, errw.String())
+	}
+	logs := errw.String()
+	if !strings.Contains(logs, "DEBUG golden run complete") {
+		t.Fatalf("-v did not surface debug events:\n%s", logs)
+	}
+	if !strings.Contains(logs, "== telemetry ==") || !strings.Contains(logs, "trials:      4") {
+		t.Fatalf("telemetry summary missing:\n%s", logs)
+	}
+}
+
+// TestQuietSuppressesSummary checks -quiet drops info events and the
+// summary block (warnings would still pass).
+func TestQuietSuppressesSummary(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"campaign", "-app", "PENNANT", "-procs", "2", "-trials", "4", "-quiet"}
+	if err := run(context.Background(), args, &out, &errw); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, errw.String())
+	}
+	logs := errw.String()
+	if strings.Contains(logs, "== telemetry ==") {
+		t.Fatalf("-quiet still printed the summary:\n%s", logs)
+	}
+	if strings.Contains(logs, "INFO") {
+		t.Fatalf("-quiet still printed info events:\n%s", logs)
+	}
+}
+
+// TestExperimentTraceFlag checks -trace on an experiment subcommand.
+func TestExperimentTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	runCmd(t, "overhead", "-quiet", "-trace", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	if !names["resmod overhead"] || !names["golden"] {
+		t.Fatalf("experiment trace spans = %v", names)
+	}
+}

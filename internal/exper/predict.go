@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"resmod/internal/core"
 	"resmod/internal/faultsim"
 	"resmod/internal/stats"
+	"resmod/internal/telemetry"
 )
 
 // PredictionRow is one benchmark's measured-vs-predicted entry of the
@@ -33,11 +35,11 @@ type PredictionRow struct {
 // assembles the model inputs, the measured large-scale ground truth, and
 // the campaign wall times.
 func gatherModelInputs(s *Session, a apps.App, class string, small, large int) (*core.Inputs, stats.Rates, error) {
-	in, _, _, measured, err := gatherModelInputsTimed(s, a, class, small, large)
+	in, _, _, measured, err := gatherModelInputsTimed(s.Context(), s, a, class, small, large)
 	return in, measured, err
 }
 
-func gatherModelInputsTimed(s *Session, a apps.App, class string, small, large int) (
+func gatherModelInputsTimed(ctx context.Context, s *Session, a apps.App, class string, small, large int) (
 	*core.Inputs, time.Duration, time.Duration, stats.Rates, error) {
 	// Serial curve at the paper's sampling points.
 	xs, err := core.SampleXs(large, small)
@@ -47,7 +49,7 @@ func gatherModelInputsTimed(s *Session, a apps.App, class string, small, large i
 	rates := make([]stats.Rates, len(xs))
 	var serialTime time.Duration
 	for i, x := range xs {
-		sum, err := s.Campaign(a, class, 1, x, faultsim.CommonOnly)
+		sum, err := s.CampaignCtx(ctx, a, class, 1, x, faultsim.CommonOnly)
 		if err != nil {
 			return nil, 0, 0, stats.Rates{}, err
 		}
@@ -61,7 +63,7 @@ func gatherModelInputsTimed(s *Session, a apps.App, class string, small, large i
 	serialTime /= time.Duration(len(xs))
 
 	// Small-scale deployment: propagation profile, conditional rates.
-	smallSum, err := s.Campaign(a, class, small, 1, faultsim.AnyRegion)
+	smallSum, err := s.CampaignCtx(ctx, a, class, small, 1, faultsim.AnyRegion)
 	if err != nil {
 		return nil, 0, 0, stats.Rates{}, err
 	}
@@ -75,14 +77,14 @@ func gatherModelInputsTimed(s *Session, a apps.App, class string, small, large i
 	// Parallel-unique weight from the large-scale golden run (one clean
 	// run — cheap; the expensive part the model avoids is the large-scale
 	// deployment's thousands of injected runs).
-	golden, err := s.Golden(a, class, large)
+	golden, err := s.GoldenCtx(ctx, a, class, large)
 	if err != nil {
 		return nil, 0, 0, stats.Rates{}, err
 	}
 	prob2 := golden.UniqueFraction()
 	var unique stats.Rates
 	if prob2 > 0 {
-		uc, err := s.Campaign(a, class, small, 1, faultsim.UniqueOnly)
+		uc, err := s.CampaignCtx(ctx, a, class, small, 1, faultsim.UniqueOnly)
 		if err != nil {
 			return nil, 0, 0, stats.Rates{}, err
 		}
@@ -90,7 +92,7 @@ func gatherModelInputsTimed(s *Session, a apps.App, class string, small, large i
 	}
 
 	// Ground truth: the measured large-scale deployment.
-	measured, err := s.Campaign(a, class, large, 1, faultsim.AnyRegion)
+	measured, err := s.CampaignCtx(ctx, a, class, large, 1, faultsim.AnyRegion)
 	if err != nil {
 		return nil, 0, 0, stats.Rates{}, err
 	}
@@ -111,6 +113,13 @@ func gatherModelInputsTimed(s *Session, a apps.App, class string, small, large i
 // propagation profile / tuning factors / parallel-unique rates, and the
 // measured large-scale deployment for ground truth.
 func PredictOne(s *Session, name, class string, small, large int) (*PredictionRow, error) {
+	return PredictOneCtx(s.Context(), s, name, class, small, large)
+}
+
+// PredictOneCtx is PredictOne under a caller-supplied context, so a
+// caller (e.g. the prediction service) can scope the pipeline's trace
+// spans and cancellation to one job.
+func PredictOneCtx(ctx context.Context, s *Session, name, class string, small, large int) (*PredictionRow, error) {
 	list, err := resolveApps([]string{name})
 	if err != nil {
 		return nil, err
@@ -119,7 +128,14 @@ func PredictOne(s *Session, name, class string, small, large int) (*PredictionRo
 	if class == "" {
 		class = a.DefaultClass()
 	}
-	inputs, smallTime, serialTime, measured, err := gatherModelInputsTimed(s, a, class, small, large)
+	tel := telemetry.From(ctx)
+	ctx, span := tel.Tracer().Start(ctx, "predict",
+		telemetry.String("bench", a.Name()),
+		telemetry.String("class", class),
+		telemetry.Int("small", small),
+		telemetry.Int("large", large))
+	defer span.End()
+	inputs, smallTime, serialTime, measured, err := gatherModelInputsTimed(ctx, s, a, class, small, large)
 	if err != nil {
 		return nil, err
 	}

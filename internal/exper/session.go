@@ -11,11 +11,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"time"
 
 	"resmod/internal/apps"
 	"resmod/internal/faultsim"
+	"resmod/internal/telemetry"
 )
 
 // Config tunes an evaluation session.
@@ -29,7 +31,11 @@ type Config struct {
 	Timeout time.Duration
 	// Workers is the per-campaign trial concurrency.
 	Workers int
-	// Log, when non-nil, receives progress lines.
+	// Log, when non-nil, receives progress events.  It is a compatibility
+	// bridge: when Ctx carries no telemetry bundle, the session builds an
+	// info-level structured logger writing here.  A telemetry bundle on
+	// Ctx (see internal/telemetry.With) always wins, and is the richer
+	// interface — events, trace spans, and engine metrics.
 	Log io.Writer
 	// Ctx, when non-nil, cancels in-flight campaigns and golden runs —
 	// the CLI passes its SIGINT/SIGTERM context here so experiments stop
@@ -86,6 +92,7 @@ func (c Config) withDefaults() Config {
 // computing it twice.
 type Session struct {
 	cfg Config
+	tel *telemetry.Telemetry
 
 	mu      sync.Mutex
 	goldens map[string]*goldenCall
@@ -108,10 +115,23 @@ type campaignCall struct {
 	err  error
 }
 
-// NewSession creates a session.
+// NewSession creates a session.  Its telemetry bundle comes from
+// Config.Ctx when present, falling back to an info-level logger over
+// Config.Log (the legacy progress-writer interface), else to the nop
+// bundle.
 func NewSession(cfg Config) *Session {
+	cfg = cfg.withDefaults()
+	tel, ok := telemetry.FromContext(cfg.Ctx)
+	if !ok {
+		if cfg.Log != nil {
+			tel = telemetry.New(telemetry.NewLogger(cfg.Log, slog.LevelInfo), nil, nil)
+		} else {
+			tel = telemetry.Nop()
+		}
+	}
 	return &Session{
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
+		tel:     tel,
 		goldens: make(map[string]*goldenCall),
 		camps:   make(map[string]*campaignCall),
 	}
@@ -120,22 +140,41 @@ func NewSession(cfg Config) *Session {
 // Config returns the session's effective configuration.
 func (s *Session) Config() Config { return s.cfg }
 
-// ctx returns the session's cancellation context.
-func (s *Session) ctx() context.Context {
+// Context returns the session's cancellation context, guaranteed to
+// carry the session's telemetry bundle.
+func (s *Session) Context() context.Context {
+	return telemetry.With(s.baseCtx(), s.tel)
+}
+
+// baseCtx returns the configured cancellation context without forcing
+// the session's telemetry onto it (ctx-variant entry points keep the
+// caller's bundle).
+func (s *Session) baseCtx() context.Context {
 	if s.cfg.Ctx != nil {
 		return s.cfg.Ctx
 	}
 	return context.Background()
 }
 
-func (s *Session) logf(format string, args ...any) {
-	if s.cfg.Log != nil {
-		fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+// telemetryCtx ensures ctx carries a telemetry bundle: the caller's own
+// when present, the session's otherwise.
+func (s *Session) telemetryCtx(ctx context.Context) context.Context {
+	if _, ok := telemetry.FromContext(ctx); ok {
+		return ctx
 	}
+	return telemetry.With(ctx, s.tel)
 }
 
 // Golden returns (computing and caching on first use) the fault-free run.
 func (s *Session) Golden(app apps.App, class string, procs int) (*faultsim.Golden, error) {
+	return s.GoldenCtx(s.Context(), app, class, procs)
+}
+
+// GoldenCtx is Golden under a caller-supplied context: cancellation and
+// telemetry (spans, events, metrics) follow ctx.  Under the per-key
+// singleflight the first caller's context drives the shared computation.
+func (s *Session) GoldenCtx(ctx context.Context, app apps.App, class string, procs int) (*faultsim.Golden, error) {
+	ctx = s.telemetryCtx(ctx)
 	if class == "" {
 		class = app.DefaultClass()
 	}
@@ -148,7 +187,7 @@ func (s *Session) Golden(app apps.App, class string, procs int) (*faultsim.Golde
 	}
 	s.mu.Unlock()
 	call.once.Do(func() {
-		call.g, call.err = faultsim.ComputeGoldenCtx(s.ctx(), app, class, procs, s.cfg.Timeout)
+		call.g, call.err = faultsim.ComputeGoldenCtx(ctx, app, class, procs, s.cfg.Timeout)
 	})
 	if call.err != nil {
 		// Drop the failed slot so a later caller can retry (e.g. after a
@@ -168,6 +207,14 @@ func (s *Session) Golden(app apps.App, class string, procs int) (*faultsim.Golde
 // Budget exhausted) is not cached and is reported as an error carrying the
 // partial progress, so experiment drivers stop promptly.
 func (s *Session) Campaign(app apps.App, class string, procs, errors int, region faultsim.RegionMode) (*faultsim.Summary, error) {
+	return s.CampaignCtx(s.Context(), app, class, procs, errors, region)
+}
+
+// CampaignCtx is Campaign under a caller-supplied context: cancellation
+// and telemetry follow ctx.  Under the singleflight the first caller's
+// context drives the shared run.
+func (s *Session) CampaignCtx(ctx context.Context, app apps.App, class string, procs, errors int, region faultsim.RegionMode) (*faultsim.Summary, error) {
+	ctx = s.telemetryCtx(ctx)
 	c := faultsim.Campaign{
 		App: app, Class: class, Procs: procs, Trials: s.cfg.Trials,
 		Errors: errors, Region: region, Seed: s.cfg.Seed,
@@ -185,7 +232,7 @@ func (s *Session) Campaign(app apps.App, class string, procs, errors int, region
 		s.camps[key] = call
 	}
 	s.mu.Unlock()
-	call.once.Do(func() { call.sum, call.err = s.runCampaign(key, c) })
+	call.once.Do(func() { call.sum, call.err = s.runCampaign(ctx, key, c) })
 	if call.err != nil {
 		s.mu.Lock()
 		if s.camps[key] == call {
@@ -199,19 +246,20 @@ func (s *Session) Campaign(app apps.App, class string, procs, errors int, region
 
 // runCampaign executes one deployment for Campaign's singleflight slot:
 // durable-cache probe first, then the real fault-injection run.
-func (s *Session) runCampaign(key string, c faultsim.Campaign) (*faultsim.Summary, error) {
+func (s *Session) runCampaign(ctx context.Context, key string, c faultsim.Campaign) (*faultsim.Summary, error) {
+	tel := telemetry.From(ctx)
 	if s.cfg.Cache != nil {
 		if sum, ok := s.cfg.Cache.GetSummary(key); ok {
-			s.logf("campaign %-28s %s  [cached]", key, sum.Rates)
+			tel.Logger().Info("campaign cache hit",
+				"campaign", key, "rates", sum.Rates.String())
 			return sum, nil
 		}
 	}
-	golden, err := s.Golden(c.App, c.Class, c.Procs)
+	golden, err := s.GoldenCtx(ctx, c.App, c.Class, c.Procs)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	sum, err := faultsim.RunAgainstCtx(s.ctx(), c, golden)
+	sum, err := faultsim.RunAgainstCtx(ctx, c, golden)
 	if err != nil {
 		return nil, fmt.Errorf("exper: campaign %s: %w", key, err)
 	}
@@ -219,7 +267,6 @@ func (s *Session) runCampaign(key string, c faultsim.Campaign) (*faultsim.Summar
 		return sum, fmt.Errorf("exper: campaign %s interrupted after %d/%d trials",
 			key, sum.TrialsDone, s.cfg.Trials)
 	}
-	s.logf("campaign %-28s %s  [%v]", key, sum.Rates, time.Since(start).Round(time.Millisecond))
 	if s.cfg.OnCampaign != nil {
 		s.cfg.OnCampaign(key, sum)
 	}

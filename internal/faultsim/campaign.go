@@ -12,6 +12,7 @@ import (
 	"resmod/internal/fpe"
 	"resmod/internal/simmpi"
 	"resmod/internal/stats"
+	"resmod/internal/telemetry"
 )
 
 // Outcome is a fault injection test's result (paper §2).
@@ -347,10 +348,40 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 		agg.hook = c.hooks.trialDone
 	}
 	identity := c.Identity()
+
+	// Telemetry: one campaign span covering the whole deployment, trial
+	// outcomes/latency into the sink, structured completion events.  The
+	// bundle is resolved once here — not per trial — so the hot path pays
+	// only the recording calls themselves (no-ops when telemetry is off).
+	tel := telemetry.From(ctx)
+	ctx, span := tel.Tracer().Start(ctx, "campaign",
+		telemetry.String("id", identity),
+		telemetry.Int("procs", c.Procs),
+		telemetry.Int("trials", c.Trials),
+		telemetry.Int("workers", c.Workers))
+	defer span.End()
+
 	if c.Resume && c.Checkpoint != "" {
 		if err := agg.restoreFromFile(c.Checkpoint, identity); err != nil {
 			return nil, err
 		}
+		tel.Logger().Debug("campaign resumed from checkpoint",
+			"campaign", identity, "path", c.Checkpoint, "done", agg.doneCount())
+	}
+	// writeCheckpoint snapshots the tallies, tracing and counting each
+	// write (the final write's error is the caller's to handle).
+	writeCheckpoint := func() error {
+		_, sp := tel.Tracer().Start(ctx, "checkpoint",
+			telemetry.String("path", c.Checkpoint))
+		err := SaveCheckpoint(c.Checkpoint, agg.snapshot(identity))
+		sp.End()
+		if err == nil {
+			tel.Sink().CheckpointWrite()
+		} else {
+			tel.Logger().Warn("checkpoint write failed",
+				"campaign", identity, "path", c.Checkpoint, "err", err)
+		}
+		return err
 	}
 
 	// Periodic checkpointing: a snapshot every CheckpointEvery, plus a
@@ -375,18 +406,25 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 				case <-tick.C:
 					// Best effort: a failed periodic write only costs
 					// resumability back to the previous snapshot.
-					_ = SaveCheckpoint(c.Checkpoint, agg.snapshot(identity))
+					_ = writeCheckpoint()
 				}
 			}
 		}()
 	}
 
 	base := stats.NewRNG(c.Seed)
+	sink := tel.Sink()
 	var wg sync.WaitGroup
 	for w := 0; w < c.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			_, bspan := tel.Tracer().Start(ctx, "trial-batch", telemetry.Int("worker", w))
+			done := 0
+			defer func() {
+				bspan.SetAttr(telemetry.Int("trials", done))
+				bspan.End()
+			}()
 			for t := w; t < c.Trials; t += c.Workers {
 				if ctx.Err() != nil {
 					return
@@ -394,11 +432,13 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 				if agg.isDone(t) {
 					continue // restored from the checkpoint
 				}
-				rec, err := runTrialResilient(ctx, c, golden, base, t)
+				t0 := time.Now()
+				rec, err := runTrialResilient(ctx, c, golden, base, t, sink)
 				if err != nil {
 					if isInterruption(err) {
 						return
 					}
+					sink.TrialAbnormal()
 					if agg.recordAbnormal(t, err) > c.MaxAbnormal {
 						abort()
 						return
@@ -406,6 +446,8 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 					continue
 				}
 				agg.record(t, rec)
+				sink.TrialDone(rec.Outcome.String(), time.Since(t0))
+				done++
 			}
 		}(w)
 	}
@@ -414,7 +456,7 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 	if c.Checkpoint != "" {
 		close(ckptStop)
 		ckptWG.Wait()
-		if err := SaveCheckpoint(c.Checkpoint, agg.snapshot(identity)); err != nil {
+		if err := writeCheckpoint(); err != nil {
 			return nil, fmt.Errorf("faultsim: writing checkpoint: %w", err)
 		}
 	}
@@ -427,7 +469,31 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 	if sum.TrialsDone+sum.Abnormal < uint64(c.Trials) && ctx.Err() != nil {
 		sum.Interrupted = true
 	}
+	sink.CampaignDone(sum.Elapsed)
+	span.SetAttr(telemetry.Attr{Key: "trials_done", Value: sum.TrialsDone},
+		telemetry.Attr{Key: "interrupted", Value: sum.Interrupted})
+	logCampaign(tel, identity, sum)
 	return sum, nil
+}
+
+// logCampaign emits the structured completion event for one executed
+// deployment: info for clean completions, warn for interruptions and
+// campaigns with abnormal trials (so -quiet never hides them).
+func logCampaign(tel *telemetry.Telemetry, identity string, sum *Summary) {
+	args := []any{
+		"campaign", identity, "rates", sum.Rates.String(),
+		"trials", sum.TrialsDone,
+		"elapsed", sum.Elapsed.Round(time.Millisecond),
+	}
+	switch {
+	case sum.Interrupted:
+		tel.Logger().Warn("campaign interrupted", args...)
+	case sum.Abnormal > 0:
+		tel.Logger().Warn("campaign done with abnormal trials",
+			append(args, "abnormal", sum.Abnormal)...)
+	default:
+		tel.Logger().Info("campaign done", args...)
+	}
 }
 
 // isInterruption reports whether a trial error is an external interruption
@@ -441,9 +507,10 @@ func isInterruption(err error) bool {
 
 // runTrialResilient runs one trial with harness-fault containment: panics
 // escaping the harness are recovered, and abnormal trials are retried with
-// bounded exponential backoff.  Retries replay the identical trial — the
-// RNG stream is re-split from the base per attempt.
-func runTrialResilient(ctx context.Context, c Campaign, golden *Golden, base *stats.RNG, t int) (TrialRecord, error) {
+// bounded exponential backoff (each retry counted into the sink).  Retries
+// replay the identical trial — the RNG stream is re-split from the base
+// per attempt.
+func runTrialResilient(ctx context.Context, c Campaign, golden *Golden, base *stats.RNG, t int, sink telemetry.Sink) (TrialRecord, error) {
 	backoff := retryBackoffBase
 	var rec TrialRecord
 	var err error
@@ -456,6 +523,7 @@ func runTrialResilient(ctx context.Context, c Campaign, golden *Golden, base *st
 			return rec, fmt.Errorf("faultsim: trial %d failed abnormally after %d attempt(s): %w",
 				t, attempt+1, err)
 		}
+		sink.TrialRetried()
 		select {
 		case <-ctx.Done():
 			return rec, fmt.Errorf("%w: %w", simmpi.ErrCanceled, ctx.Err())
@@ -517,6 +585,13 @@ func newAggregate(procs, trials int) *aggregate {
 		byCont: make(map[int]*stats.Counter),
 		spread: make([]uint64, procs/2+1),
 	}
+}
+
+// doneCount returns the number of tallied trials so far.
+func (a *aggregate) doneCount() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.completed
 }
 
 // isDone reports whether trial t's outcome is already tallied (restored

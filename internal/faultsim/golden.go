@@ -15,6 +15,7 @@ import (
 	"resmod/internal/apps"
 	"resmod/internal/fpe"
 	"resmod/internal/simmpi"
+	"resmod/internal/telemetry"
 )
 
 // Golden is the fault-free reference execution of one (app, class, procs)
@@ -69,6 +70,12 @@ func ComputeGoldenCtx(ctx context.Context, app apps.App, class string, procs int
 	if class == "" {
 		class = app.DefaultClass()
 	}
+	tel := telemetry.From(ctx)
+	ctx, span := tel.Tracer().Start(ctx, "golden",
+		telemetry.String("app", app.Name()),
+		telemetry.String("class", class),
+		telemetry.Int("procs", procs))
+	defer span.End()
 	start := time.Now()
 	res := apps.ExecuteCtx(ctx, app, class, procs, nil, timeout)
 	if res.Err != nil {
@@ -100,6 +107,10 @@ func ComputeGoldenCtx(ctx context.Context, app apps.App, class string, procs int
 		return nil, fmt.Errorf("faultsim: golden check of %s/%s p=%d not finite: %v",
 			app.Name(), class, procs, g.Check)
 	}
+	tel.Sink().GoldenRun(g.Elapsed)
+	tel.Logger().Debug("golden run complete",
+		"app", app.Name(), "class", class, "procs", procs,
+		"elapsed", g.Elapsed, "unique_frac", g.UniqueFraction())
 	return g, nil
 }
 

@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"resmod/internal/store"
+	"resmod/internal/telemetry"
 )
 
 // latencyBuckets are the prediction-latency histogram bounds in seconds.
@@ -54,6 +54,16 @@ func (h *histogram) write(w io.Writer, name string) {
 	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
 }
 
+// requestKey labels one HTTP request counter series.  A comparable
+// struct key keeps the hot-path increment allocation-free (the old
+// fmt.Sprintf key built a string under the lock on every request);
+// label formatting happens once, at exposition.
+type requestKey struct {
+	method string
+	route  string
+	code   int
+}
+
 // metrics is the service's hand-rolled metric registry (the repo is
 // stdlib-only, so there is no client_golang; /metrics emits the
 // Prometheus text format directly).
@@ -61,7 +71,7 @@ type metrics struct {
 	start time.Time
 
 	mu           sync.Mutex
-	httpRequests map[string]uint64 // "METHOD|route|code" -> count
+	httpRequests map[requestKey]uint64
 
 	submitted   atomic.Uint64 // jobs accepted into the queue
 	joined      atomic.Uint64 // submissions that joined an existing job
@@ -75,7 +85,6 @@ type metrics struct {
 	inflight     atomic.Int64
 
 	campaigns atomic.Uint64 // campaigns actually executed (not cached)
-	trials    atomic.Uint64 // fault-injection trials actually executed
 
 	latency *histogram
 }
@@ -83,23 +92,25 @@ type metrics struct {
 func newMetrics() *metrics {
 	return &metrics{
 		start:        time.Now(),
-		httpRequests: make(map[string]uint64),
+		httpRequests: make(map[requestKey]uint64),
 		latency:      newHistogram(),
 	}
 }
 
 // request records one served HTTP request.
 func (m *metrics) request(method, route string, code int) {
-	key := fmt.Sprintf("%s|%s|%d", method, route, code)
+	k := requestKey{method: method, route: route, code: code}
 	m.mu.Lock()
-	m.httpRequests[key]++
+	m.httpRequests[k]++
 	m.mu.Unlock()
 }
 
 // write emits every metric in Prometheus text exposition format.
 // queueDepth is sampled by the caller; storeStats is nil when the server
-// runs without a store.
-func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats) {
+// runs without a store; engine is the process-wide engine-telemetry
+// snapshot (trial outcomes, golden runs, checkpoint writes, duration
+// histograms).
+func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats, engine telemetry.Snapshot) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -110,15 +121,23 @@ func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats) {
 	fmt.Fprintf(w, "# HELP resmod_http_requests_total Served HTTP requests.\n")
 	fmt.Fprintf(w, "# TYPE resmod_http_requests_total counter\n")
 	m.mu.Lock()
-	keys := make([]string, 0, len(m.httpRequests))
+	keys := make([]requestKey, 0, len(m.httpRequests))
 	for k := range m.httpRequests {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.method != b.method {
+			return a.method < b.method
+		}
+		if a.route != b.route {
+			return a.route < b.route
+		}
+		return a.code < b.code
+	})
 	for _, k := range keys {
-		parts := strings.SplitN(k, "|", 3)
-		fmt.Fprintf(w, "resmod_http_requests_total{method=%q,path=%q,code=%q} %d\n",
-			parts[0], parts[1], parts[2], m.httpRequests[k])
+		fmt.Fprintf(w, "resmod_http_requests_total{method=%q,path=%q,code=\"%d\"} %d\n",
+			k.method, k.route, k.code, m.httpRequests[k])
 	}
 	m.mu.Unlock()
 
@@ -142,9 +161,35 @@ func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats) {
 	counter("resmod_campaigns_executed_total",
 		"Fault-injection campaigns actually executed (cache hits excluded).",
 		m.campaigns.Load())
+	// resmod_campaign_trials_total is the sum of the outcome-labeled
+	// resmod_trial_total counters by construction (both derive from the
+	// same engine snapshot), so the two families always agree — even with
+	// campaigns in flight or interrupted.
 	counter("resmod_campaign_trials_total",
 		"Fault-injection trials actually executed (cache hits excluded).",
-		m.trials.Load())
+		engine.TrialsTotal())
+
+	fmt.Fprintf(w, "# HELP resmod_trial_total Fault-injection trials executed, by outcome.\n")
+	fmt.Fprintf(w, "# TYPE resmod_trial_total counter\n")
+	for _, oc := range []struct {
+		label string
+		v     uint64
+	}{
+		{"success", engine.TrialSuccess},
+		{"sdc", engine.TrialSDC},
+		{"failure", engine.TrialFailure},
+		{"other", engine.TrialOther},
+	} {
+		fmt.Fprintf(w, "resmod_trial_total{outcome=%q} %d\n", oc.label, oc.v)
+	}
+	counter("resmod_trial_abnormal_total",
+		"Trials abandoned after repeated harness errors.", engine.TrialsAbnormal)
+	counter("resmod_trial_retried_total",
+		"Retries of abnormal trials.", engine.TrialsRetried)
+	counter("resmod_golden_runs_total",
+		"Fault-free reference executions computed.", engine.GoldenRuns)
+	counter("resmod_checkpoint_writes_total",
+		"Campaign checkpoint snapshots written.", engine.CheckpointWrites)
 
 	gauge("resmod_queue_depth", "Jobs waiting in the scheduler queue.",
 		float64(queueDepth))
@@ -168,4 +213,25 @@ func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats) {
 	fmt.Fprintf(w, "# HELP resmod_prediction_duration_seconds Wall time of computed predictions.\n")
 	fmt.Fprintf(w, "# TYPE resmod_prediction_duration_seconds histogram\n")
 	m.latency.write(w, "resmod_prediction_duration_seconds")
+
+	writeHistSnapshot(w, "resmod_trial_duration_seconds",
+		"Wall time of individual fault-injection trials.", engine.TrialLatency)
+	writeHistSnapshot(w, "resmod_campaign_duration_seconds",
+		"Wall time of executed campaigns.", engine.CampaignDuration)
+}
+
+// writeHistSnapshot emits a telemetry histogram snapshot (per-bucket
+// counts) as a Prometheus cumulative histogram.
+func writeHistSnapshot(w io.Writer, name, help string, s telemetry.HistSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, le := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"resmod/internal/exper"
+	"resmod/internal/telemetry"
 )
 
 // Job statuses, as reported by the API.
@@ -70,14 +71,18 @@ type Prediction struct {
 	// once the job finished (0 for store-served answers).
 	SubmittedAt time.Time `json:"submitted_at"`
 	ElapsedMS   int64     `json:"elapsed_ms,omitempty"`
+	// RequestID is the X-Request-ID of the submission that created the
+	// job, for correlating job records with access-log lines.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // job is one scheduled prediction with its own lock (the server's map
 // lock must not be held while a job runs).
 type job struct {
-	id  string
-	key string
-	req PredictionRequest
+	id    string
+	key   string
+	req   PredictionRequest
+	reqID string
 
 	mu        sync.Mutex
 	status    string
@@ -86,6 +91,7 @@ type job struct {
 	err       string
 	submitted time.Time
 	elapsed   time.Duration
+	tracer    *telemetry.Tracer // per-job spans, set when the job starts
 }
 
 // view snapshots the job for JSON rendering.
@@ -95,8 +101,15 @@ func (j *job) view() Prediction {
 	return Prediction{
 		ID: j.id, Status: j.status, Cached: j.cached, Request: j.req,
 		Result: j.row, Error: j.err, SubmittedAt: j.submitted,
-		ElapsedMS: j.elapsed.Milliseconds(),
+		ElapsedMS: j.elapsed.Milliseconds(), RequestID: j.reqID,
 	}
+}
+
+// traceTracer returns the job's span recorder (nil until it starts).
+func (j *job) traceTracer() *telemetry.Tracer {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tracer
 }
 
 // retryable reports whether a resubmission should replace this job
@@ -105,12 +118,6 @@ func (j *job) retryable() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.status == StatusFailed || j.status == StatusCanceled
-}
-
-func (j *job) setRunning() {
-	j.mu.Lock()
-	j.status = StatusRunning
-	j.mu.Unlock()
 }
 
 func (j *job) complete(row *exper.PredictionRow, elapsed time.Duration) {
@@ -152,15 +159,30 @@ func (s *Server) worker() {
 
 // runJob computes one prediction through the shared session (whose
 // singleflight and durable cache dedupe the campaigns underneath) and
-// persists the result.
+// persists the result.  Each job records its spans into its own tracer
+// (served by GET /v1/predictions/{id}/trace); under the session
+// singleflight a shared campaign's spans land in the tracer of the job
+// that actually ran it.
 func (s *Server) runJob(j *job) {
-	j.setRunning()
+	tr := telemetry.NewTracer()
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.tracer = tr
+	j.mu.Unlock()
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 
+	ctx := telemetry.With(s.baseCtx, s.tel.WithTracer(tr))
+	ctx, span := tr.Start(ctx, "job",
+		telemetry.String("id", j.id), telemetry.String("app", j.req.App),
+		telemetry.String("request_id", j.reqID))
 	start := time.Now()
-	row, err := exper.PredictOne(s.session, j.req.App, j.req.Class, j.req.Small, j.req.Large)
+	row, err := exper.PredictOneCtx(ctx, s.session, j.req.App, j.req.Class, j.req.Small, j.req.Large)
 	elapsed := time.Since(start)
+	span.End()
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Merge(tr)
+	}
 	switch {
 	case err == nil:
 		j.complete(row, elapsed)
@@ -174,7 +196,9 @@ func (s *Server) runJob(j *job) {
 		j.fail(StatusFailed, err, elapsed)
 		s.metrics.jobsFailed.Add(1)
 	}
-	s.logf("job %s %s %s (%v)", j.id, j.req.App, j.view().Status, elapsed.Round(time.Millisecond))
+	s.tel.Logger().Info("job finished",
+		"job", j.id, "app", j.req.App, "status", j.view().Status,
+		"elapsed", elapsed, "request_id", j.reqID)
 }
 
 // interrupted reports whether a job error came from the forced-drain

@@ -8,20 +8,24 @@
 //
 // Endpoints:
 //
-//	POST /v1/predictions        submit {"app","class","small","large"}
-//	GET  /v1/predictions/{id}   poll a job
-//	GET  /v1/predictions        list known jobs
-//	GET  /v1/apps               registered benchmarks
-//	GET  /healthz               liveness + queue snapshot
-//	GET  /metrics               Prometheus text exposition
+//	POST /v1/predictions              submit {"app","class","small","large"}
+//	GET  /v1/predictions/{id}         poll a job
+//	GET  /v1/predictions/{id}/trace   the job's Chrome trace-event JSON
+//	GET  /v1/predictions              list known jobs
+//	GET  /v1/apps                     registered benchmarks
+//	GET  /healthz                     liveness + queue snapshot
+//	GET  /metrics                     Prometheus text exposition
 package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -32,6 +36,7 @@ import (
 	"resmod/internal/exper"
 	"resmod/internal/faultsim"
 	"resmod/internal/store"
+	"resmod/internal/telemetry"
 )
 
 // Config tunes a Server.
@@ -54,8 +59,15 @@ type Config struct {
 	// Store, when non-nil, persists campaign summaries and prediction
 	// rows so identical work is computed once ever.
 	Store *store.Store
-	// Log, when non-nil, receives progress lines.
+	// Log, when non-nil, receives progress events through an info-level
+	// structured logger.  Logger wins when both are set.
 	Log io.Writer
+	// Logger, when non-nil, receives every server event (access log, job
+	// lifecycle, engine progress).
+	Logger *slog.Logger
+	// Tracer, when non-nil, accumulates every job's trace spans into one
+	// process-wide trace (the serve -trace flag wires this).
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -73,10 +85,12 @@ func (c Config) withDefaults() Config {
 
 // Server is the prediction service.
 type Server struct {
-	cfg     Config
-	session *exper.Session
-	metrics *metrics
-	mux     *http.ServeMux
+	cfg      Config
+	session  *exper.Session
+	metrics  *metrics
+	recorder *telemetry.Recorder
+	tel      *telemetry.Telemetry
+	mux      *http.ServeMux
 
 	baseCtx   context.Context
 	cancel    context.CancelFunc
@@ -102,12 +116,18 @@ func New(cfg Config) *Server {
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 
+	logger := cfg.Logger
+	if logger == nil && cfg.Log != nil {
+		logger = telemetry.NewLogger(cfg.Log, slog.LevelInfo)
+	}
+	s.recorder = telemetry.NewRecorder()
+	s.tel = telemetry.New(logger, nil, s.recorder)
+
 	sessCfg := exper.Config{
 		Trials: cfg.Trials, Seed: cfg.Seed, Workers: cfg.CampaignWorkers,
-		Timeout: cfg.Timeout, Log: cfg.Log, Ctx: s.baseCtx,
+		Timeout: cfg.Timeout, Ctx: telemetry.With(s.baseCtx, s.tel),
 		OnCampaign: func(identity string, sum *faultsim.Summary) {
 			s.metrics.campaigns.Add(1)
-			s.metrics.trials.Add(sum.TrialsDone)
 		},
 	}
 	if cfg.Store != nil {
@@ -118,6 +138,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/predictions", s.instrument("/v1/predictions", s.handleSubmit))
 	mux.Handle("GET /v1/predictions/{id}", s.instrument("/v1/predictions/{id}", s.handleGet))
+	mux.Handle("GET /v1/predictions/{id}/trace", s.instrument("/v1/predictions/{id}/trace", s.handleTrace))
 	mux.Handle("GET /v1/predictions", s.instrument("/v1/predictions", s.handleList))
 	mux.Handle("GET /v1/apps", s.instrument("/v1/apps", s.handleApps))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -146,8 +167,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Dur
 	hs := &http.Server{Handler: s.mux}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	s.logf("serving on http://%s (workers=%d queue=%d trials=%d seed=%d)",
-		ln.Addr(), s.cfg.Workers, s.cfg.Queue, s.cfg.Trials, s.cfg.Seed)
+	s.tel.Logger().Info(fmt.Sprintf("serving on http://%s", ln.Addr()),
+		"workers", s.cfg.Workers, "queue", s.cfg.Queue,
+		"trials", s.cfg.Trials, "seed", s.cfg.Seed)
 
 	select {
 	case err := <-errc:
@@ -156,14 +178,14 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Dur
 		return err
 	case <-ctx.Done():
 	}
-	s.logf("draining (up to %v)...", drain)
+	s.tel.Logger().Info("draining", "timeout", drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	_ = hs.Shutdown(drainCtx)
 	if err := s.Close(drainCtx); err != nil {
 		return fmt.Errorf("server: drain: %w", err)
 	}
-	s.logf("drained cleanly")
+	s.tel.Logger().Info("drained cleanly")
 	return nil
 }
 
@@ -197,18 +219,28 @@ func (s *Server) Close(ctx context.Context) error {
 	}
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Log != nil {
-		fmt.Fprintf(s.cfg.Log, "serve: "+format+"\n", args...)
-	}
-}
-
 // ---- handlers -------------------------------------------------------------
 
-// statusRecorder captures the response code for the request counter.
+// requestIDHeader carries the per-request correlation ID.  Clients may
+// supply one; the server generates one otherwise, and always echoes it
+// on the response.
+const requestIDHeader = "X-Request-ID"
+
+// newRequestID returns a fresh 16-hex-digit request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the response code and body size for the
+// request counter and the access log.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -216,12 +248,32 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with per-route request counting.
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with request-ID plumbing, per-route request
+// counting, and one access-log event per request.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(requestIDHeader)
+		if reqID == "" {
+			reqID = newRequestID()
+			// Stash the generated ID on the inbound headers too, so
+			// handlers (e.g. handleSubmit's job records) see one value
+			// regardless of who minted it.
+			r.Header.Set(requestIDHeader, reqID)
+		}
+		w.Header().Set(requestIDHeader, reqID)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
 		h(rec, r)
 		s.metrics.request(r.Method, route, rec.code)
+		s.tel.Logger().Info("http request",
+			"method", r.Method, "route", route, "status", rec.code,
+			"bytes", rec.bytes, "dur", time.Since(start), "request_id", reqID)
 	})
 }
 
@@ -301,8 +353,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if row, ok := s.getPrediction(key); ok {
-		j := &job{id: id, key: key, req: req, status: StatusDone,
-			cached: true, row: row, submitted: time.Now()}
+		j := &job{id: id, key: key, req: req, reqID: r.Header.Get(requestIDHeader),
+			status: StatusDone, cached: true, row: row, submitted: time.Now()}
 		s.jobs[id] = j
 		s.metrics.cacheHits.Add(1)
 		writeJSON(w, http.StatusOK, j.view())
@@ -316,7 +368,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	default:
 	}
-	j := &job{id: id, key: key, req: req, status: StatusQueued, submitted: time.Now()}
+	j := &job{id: id, key: key, req: req, reqID: r.Header.Get(requestIDHeader),
+		status: StatusQueued, submitted: time.Now()}
 	select {
 	case s.queue <- j:
 		s.jobs[id] = j
@@ -340,6 +393,28 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleTrace is GET /v1/predictions/{id}/trace: the job's recorded
+// spans as Chrome trace-event JSON (load in chrome://tracing or
+// Perfetto).  A running job returns the spans finished so far.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no prediction %q", id)
+		return
+	}
+	tr := j.traceTracer()
+	if tr == nil {
+		writeError(w, http.StatusNotFound,
+			"no trace for prediction %q (cache-served or not started)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = tr.WriteChromeTrace(w)
 }
 
 // handleList is GET /v1/predictions.
@@ -410,7 +485,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.cfg.Store.Stats()
 		storeStats = &st
 	}
-	s.metrics.write(w, len(s.queue), storeStats)
+	s.metrics.write(w, len(s.queue), storeStats, s.recorder.Snapshot())
 }
 
 // ---- prediction store ------------------------------------------------------
@@ -448,6 +523,6 @@ func (s *Server) putPrediction(key string, req PredictionRequest, row *exper.Pre
 		Version: PredictionKeyVersion, Key: key, Request: req, Row: *row,
 	})
 	if err != nil {
-		s.logf("storing prediction %s: %v", key, err)
+		s.tel.Logger().Warn("storing prediction failed", "key", key, "err", err)
 	}
 }

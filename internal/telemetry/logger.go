@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level maps the CLI's unified verbosity flags onto slog levels:
+// -quiet = warn (suppression never drops error-level diagnostics),
+// default = info, -v = debug.  -v wins when both are set.
+func Level(quiet, verbose bool) slog.Level {
+	switch {
+	case verbose:
+		return slog.LevelDebug
+	case quiet:
+		return slog.LevelWarn
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// NewLogger returns a structured logger writing compact single-line
+// events — "15:04:05.000 LEVEL message key=value ..." — suitable for a
+// terminal's stderr and for grepping server logs.  It is safe for
+// concurrent use.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(&compactHandler{out: &lockedWriter{w: w}, level: level})
+}
+
+// nopLogger discards everything; its handler reports every level
+// disabled, so call sites pay only the Enabled check.
+var nopLogger = slog.New(nopHandler{})
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+// lockedWriter serializes whole-line writes; it is shared by every
+// WithAttrs/WithGroup clone of a handler so lines never interleave.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) writeLine(b []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.w.Write(b)
+	return err
+}
+
+// compactHandler is a minimal slog.Handler: one line per record, short
+// timestamps, key=value attrs, dotted group prefixes.
+type compactHandler struct {
+	out    *lockedWriter
+	level  slog.Level
+	prefix string // preformatted " key=value" attrs from WithAttrs
+	groups string // "grp1.grp2." key prefix from WithGroup
+}
+
+func (h *compactHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= h.level
+}
+
+func (h *compactHandler) Handle(_ context.Context, r slog.Record) error {
+	buf := make([]byte, 0, 128)
+	if !r.Time.IsZero() {
+		buf = r.Time.AppendFormat(buf, "15:04:05.000")
+		buf = append(buf, ' ')
+	}
+	buf = append(buf, levelTag(r.Level)...)
+	buf = append(buf, ' ')
+	buf = append(buf, r.Message...)
+	buf = append(buf, h.prefix...)
+	r.Attrs(func(a slog.Attr) bool {
+		buf = appendAttr(buf, h.groups, a)
+		return true
+	})
+	buf = append(buf, '\n')
+	return h.out.writeLine(buf)
+}
+
+func (h *compactHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	buf := []byte(h.prefix)
+	for _, a := range attrs {
+		buf = appendAttr(buf, h.groups, a)
+	}
+	nh.prefix = string(buf)
+	return &nh
+}
+
+func (h *compactHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	nh.groups = h.groups + name + "."
+	return &nh
+}
+
+// levelTag renders the level as a fixed-width tag so messages align.
+func levelTag(l slog.Level) string {
+	switch {
+	case l >= slog.LevelError:
+		return "ERROR"
+	case l >= slog.LevelWarn:
+		return "WARN "
+	case l >= slog.LevelInfo:
+		return "INFO "
+	default:
+		return "DEBUG"
+	}
+}
+
+// appendAttr renders one attribute as " key=value", quoting values that
+// would break the one-token-per-attr reading, and flattening groups with
+// dotted keys.
+func appendAttr(buf []byte, groups string, a slog.Attr) []byte {
+	if a.Equal(slog.Attr{}) {
+		return buf
+	}
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			buf = appendAttr(buf, groups+a.Key+".", ga)
+		}
+		return buf
+	}
+	buf = append(buf, ' ')
+	buf = append(buf, groups...)
+	buf = append(buf, a.Key...)
+	buf = append(buf, '=')
+	s := valueString(v)
+	if strings.ContainsAny(s, " \t\n\"") {
+		s = fmt.Sprintf("%q", s)
+	}
+	return append(buf, s...)
+}
+
+// valueString formats a resolved slog value compactly (durations rounded,
+// times short).
+func valueString(v slog.Value) string {
+	switch v.Kind() {
+	case slog.KindDuration:
+		return v.Duration().Round(time.Microsecond).String()
+	case slog.KindTime:
+		return v.Time().Format("15:04:05.000")
+	default:
+		return fmt.Sprintf("%v", v.Any())
+	}
+}

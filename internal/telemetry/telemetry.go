@@ -1,0 +1,111 @@
+// Package telemetry is resmod's zero-dependency observability spine:
+// structured events on log/slog, lightweight trace spans exportable as
+// Chrome trace-event JSON, and an engine-metrics Sink — bundled into one
+// value that travels down the call stack on context.Context, so the CLI,
+// the prediction service and library callers share a single
+// instrumentation surface through exper → faultsim → the simulated
+// applications.
+//
+// The package is allocation-conscious: a nil *Tracer and the nop Sink
+// short-circuit every recording call, so an instrumented hot path (the
+// campaign trial loop) costs nothing when telemetry is off.
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+)
+
+// Telemetry bundles the three observability channels.  Build one with New;
+// the accessors never return a value whose methods are unsafe to call, so
+// instrumentation sites need no nil checks.
+type Telemetry struct {
+	logger *slog.Logger
+	tracer *Tracer // nil = tracing off (*Tracer methods are nil-safe)
+	sink   Sink
+}
+
+// New assembles a bundle.  Any argument may be nil: a nil logger discards
+// events, a nil tracer records no spans, a nil sink drops metrics.
+func New(logger *slog.Logger, tracer *Tracer, sink Sink) *Telemetry {
+	if logger == nil {
+		logger = nopLogger
+	}
+	if sink == nil {
+		sink = NopSink
+	}
+	return &Telemetry{logger: logger, tracer: tracer, sink: sink}
+}
+
+// nop is the shared inert bundle returned by Nop and From on contexts
+// carrying no telemetry.
+var nop = &Telemetry{logger: nopLogger, sink: NopSink}
+
+// Nop returns the inert bundle: events discarded, spans off, metrics
+// dropped.
+func Nop() *Telemetry { return nop }
+
+// Logger returns the event logger (never nil).
+func (t *Telemetry) Logger() *slog.Logger {
+	if t == nil {
+		return nopLogger
+	}
+	return t.logger
+}
+
+// Tracer returns the span recorder; it may be nil, but every *Tracer
+// method is nil-safe, so call sites use it unconditionally.
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Sink returns the metrics sink (never nil).
+func (t *Telemetry) Sink() Sink {
+	if t == nil {
+		return NopSink
+	}
+	return t.sink
+}
+
+// WithTracer returns a copy of the bundle recording spans into tr while
+// sharing the logger and sink — how the prediction service gives every
+// job its own trace without forking the metric registry.
+func (t *Telemetry) WithTracer(tr *Tracer) *Telemetry {
+	return &Telemetry{logger: t.Logger(), tracer: tr, sink: t.Sink()}
+}
+
+// ctxKey keys the bundle in a context.
+type ctxKey struct{}
+
+// With attaches the bundle to the context.  Everything downstream that
+// calls From — exper sessions, faultsim campaigns, the server's job
+// runner — then logs, traces and counts through it.
+func With(ctx context.Context, t *Telemetry) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// From returns the context's bundle, or the nop bundle when the context
+// carries none (or is nil).  The result is never nil.
+func From(ctx context.Context) *Telemetry {
+	if t, ok := FromContext(ctx); ok {
+		return t
+	}
+	return nop
+}
+
+// FromContext is From with an explicit presence report, for callers that
+// bridge legacy configuration (e.g. exper.Config.Log) only when the
+// context carries no telemetry of its own.
+func FromContext(ctx context.Context) (*Telemetry, bool) {
+	if ctx == nil {
+		return nil, false
+	}
+	t, ok := ctx.Value(ctxKey{}).(*Telemetry)
+	if !ok || t == nil {
+		return nil, false
+	}
+	return t, true
+}

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestContextRoundTrip(t *testing.T) {
+	tel := New(nil, NewTracer(), NewRecorder())
+	ctx := With(context.Background(), tel)
+	if got := From(ctx); got != tel {
+		t.Fatalf("From returned %p, want %p", got, tel)
+	}
+	if got, ok := FromContext(ctx); !ok || got != tel {
+		t.Fatalf("FromContext = (%p, %v), want (%p, true)", got, ok, tel)
+	}
+}
+
+func TestFromEmptyContextIsNop(t *testing.T) {
+	tel := From(context.Background())
+	if tel == nil {
+		t.Fatal("From returned nil")
+	}
+	if _, ok := FromContext(context.Background()); ok {
+		t.Fatal("FromContext reported presence on an empty context")
+	}
+	// The nop bundle must be safe to exercise end to end.
+	tel.Logger().Info("discarded")
+	_, span := tel.Tracer().Start(context.Background(), "x")
+	span.SetAttr(String("k", "v"))
+	span.End()
+	tel.Sink().TrialDone("success", time.Millisecond)
+	tel.Sink().CampaignDone(time.Second)
+}
+
+func TestNilTelemetryAccessors(t *testing.T) {
+	var tel *Telemetry
+	if tel.Logger() == nil {
+		t.Fatal("nil Telemetry Logger() returned nil")
+	}
+	if tel.Sink() == nil {
+		t.Fatal("nil Telemetry Sink() returned nil")
+	}
+	if tel.Tracer() != nil {
+		t.Fatal("nil Telemetry Tracer() should be nil (nil-safe off switch)")
+	}
+}
+
+func TestWithTracerSharesLoggerAndSink(t *testing.T) {
+	rec := NewRecorder()
+	base := New(nil, nil, rec)
+	tr := NewTracer()
+	forked := base.WithTracer(tr)
+	if forked.Tracer() != tr {
+		t.Fatal("WithTracer did not install the tracer")
+	}
+	if forked.Sink() != base.Sink() {
+		t.Fatal("WithTracer forked the sink")
+	}
+	if forked.Logger() != base.Logger() {
+		t.Fatal("WithTracer forked the logger")
+	}
+}
+
+func TestLevelMapping(t *testing.T) {
+	cases := []struct {
+		quiet, verbose bool
+		want           slog.Level
+	}{
+		{false, false, slog.LevelInfo},
+		{true, false, slog.LevelWarn},
+		{false, true, slog.LevelDebug},
+		{true, true, slog.LevelDebug}, // -v wins
+	}
+	for _, c := range cases {
+		if got := Level(c.quiet, c.verbose); got != c.want {
+			t.Errorf("Level(quiet=%v, verbose=%v) = %v, want %v",
+				c.quiet, c.verbose, got, c.want)
+		}
+	}
+}
+
+func TestLoggerGatingAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelWarn)
+	log.Info("hidden")
+	log.Warn("shown", "key", "value", "n", 7)
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("info event leaked through a warn-level logger:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN  shown key=value n=7") {
+		t.Fatalf("unexpected line format:\n%s", out)
+	}
+	if n := strings.Count(out, "\n"); n != 1 {
+		t.Fatalf("want exactly one line, got %d:\n%s", n, out)
+	}
+}
+
+func TestLoggerQuotesAndGroups(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo)
+	log.With("app", "CG").WithGroup("job").Info("msg", "id", "two words")
+	out := buf.String()
+	if !strings.Contains(out, `app=CG`) {
+		t.Fatalf("WithAttrs prefix missing:\n%s", out)
+	}
+	if !strings.Contains(out, `job.id="two words"`) {
+		t.Fatalf("group-dotted quoted attr missing:\n%s", out)
+	}
+}

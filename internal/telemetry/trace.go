@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: v} }
+
+// Tracer records spans.  A nil *Tracer is the off switch: Start returns a
+// nil span, and every Span method is nil-safe, so instrumented code never
+// branches on whether tracing is enabled.
+type Tracer struct {
+	epoch time.Time
+	ids   atomic.Uint64
+
+	mu    sync.Mutex
+	spans []*Span // appended at End
+}
+
+// NewTracer creates an empty tracer; its epoch (creation time) is the
+// zero point of exported timestamps.
+func NewTracer() *Tracer { return &Tracer{epoch: time.Now()} }
+
+// Span is one recorded interval.  Spans parent through the context
+// returned by Start, and inherit their root ancestor's lane (tid) so a
+// Chrome/Perfetto view shows each top-level unit of work — a campaign, a
+// server job — as its own nested track.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	tid    uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+	dur   time.Duration
+}
+
+// spanKey carries the current span in a context for parenting.
+type spanKey struct{}
+
+// Start begins a span named name, parented to the context's current span
+// (when that span belongs to the same tracer), and returns a context
+// carrying the new span.  On a nil tracer it returns (ctx, nil).
+func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{tr: t, id: t.ids.Add(1), name: name, start: time.Now()}
+	if len(attrs) > 0 {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	if p, ok := ctx.Value(spanKey{}).(*Span); ok && p != nil && p.tr == t {
+		s.parent = p.id
+		s.tid = p.tid
+	} else {
+		s.tid = s.id // new root: its own lane
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SetAttr adds attributes to the span (nil-safe).
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End finishes the span and records it in its tracer (nil-safe,
+// idempotent).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.mu.Unlock()
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, s)
+	s.tr.mu.Unlock()
+}
+
+// SpanView is an exported snapshot of one finished span.
+type SpanView struct {
+	ID       uint64
+	Parent   uint64 // 0 = root
+	TID      uint64 // lane: the root ancestor's span ID
+	Name     string
+	Start    time.Duration // offset from the tracer's epoch
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// Spans returns the finished spans sorted by start time (nil-safe).
+func (t *Tracer) Spans() []SpanView {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	views := make([]SpanView, 0, len(t.spans))
+	for _, s := range t.spans {
+		s.mu.Lock()
+		views = append(views, SpanView{
+			ID: s.id, Parent: s.parent, TID: s.tid, Name: s.name,
+			Start:    s.start.Sub(t.epoch),
+			Duration: s.dur,
+			Attrs:    append([]Attr(nil), s.attrs...),
+		})
+		s.mu.Unlock()
+	}
+	t.mu.Unlock()
+	sort.Slice(views, func(i, j int) bool { return views[i].Start < views[j].Start })
+	return views
+}
+
+// Merge copies every finished span of other into t, remapping IDs (and
+// the lanes derived from them) so they cannot collide with t's own — how
+// the server folds per-job tracers into its process-wide trace.
+func (t *Tracer) Merge(other *Tracer) {
+	if t == nil || other == nil || t == other {
+		return
+	}
+	views := other.Spans()
+	var maxID uint64
+	for _, v := range views {
+		if v.ID > maxID {
+			maxID = v.ID
+		}
+	}
+	if maxID == 0 {
+		return
+	}
+	off := t.ids.Add(maxID) - maxID
+	t.mu.Lock()
+	for _, v := range views {
+		s := &Span{
+			tr: t, id: v.ID + off, tid: v.TID + off, name: v.Name,
+			start: other.epoch.Add(v.Start), dur: v.Duration,
+			attrs: v.Attrs, ended: true,
+		}
+		if v.Parent != 0 {
+			s.parent = v.Parent + off
+		}
+		t.spans = append(t.spans, s)
+	}
+	t.mu.Unlock()
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event with
+// duration).  The format is the chrome://tracing / Perfetto JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds from the epoch
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace file, which Perfetto
+// and chrome://tracing both load.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the finished spans as Chrome trace-event JSON.
+// Load the file in chrome://tracing or https://ui.perfetto.dev.  A nil
+// tracer writes an empty (but valid) trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	doc := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, v := range t.Spans() {
+		ev := chromeEvent{
+			Name: v.Name, Cat: "resmod", Ph: "X",
+			Ts:  float64(v.Start.Microseconds()),
+			Dur: float64(v.Duration.Microseconds()),
+			Pid: 1, Tid: v.TID,
+		}
+		if len(v.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(v.Attrs)+1)
+			for _, a := range v.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		if v.Parent != 0 {
+			if ev.Args == nil {
+				ev.Args = make(map[string]any, 1)
+			}
+			ev.Args["parent_span"] = v.Parent
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

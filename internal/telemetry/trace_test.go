@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerParentingAndLanes(t *testing.T) {
+	tr := NewTracer()
+	ctx := context.Background()
+	ctx, root := tr.Start(ctx, "root", String("k", "v"))
+	cctx, child := tr.Start(ctx, "child")
+	_, grand := tr.Start(cctx, "grandchild")
+	grand.End()
+	child.End()
+	_, sibling := tr.Start(ctx, "sibling")
+	sibling.End()
+	root.End()
+
+	views := tr.Spans()
+	if len(views) != 4 {
+		t.Fatalf("want 4 spans, got %d", len(views))
+	}
+	byName := map[string]SpanView{}
+	for _, v := range views {
+		byName[v.Name] = v
+	}
+	r := byName["root"]
+	if r.Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", r.Parent)
+	}
+	if byName["child"].Parent != r.ID || byName["sibling"].Parent != r.ID {
+		t.Fatal("children not parented to root")
+	}
+	if byName["grandchild"].Parent != byName["child"].ID {
+		t.Fatal("grandchild not parented to child")
+	}
+	// Every descendant shares the root's lane.
+	for _, name := range []string{"child", "grandchild", "sibling"} {
+		if byName[name].TID != r.TID {
+			t.Fatalf("%s tid = %d, want root lane %d", name, byName[name].TID, r.TID)
+		}
+	}
+}
+
+func TestSeparateRootsGetSeparateLanes(t *testing.T) {
+	tr := NewTracer()
+	_, a := tr.Start(context.Background(), "a")
+	a.End()
+	_, b := tr.Start(context.Background(), "b")
+	b.End()
+	views := tr.Spans()
+	if views[0].TID == views[1].TID {
+		t.Fatalf("independent roots share lane %d", views[0].TID)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	ctx, span := tr.Start(context.Background(), "x", Int("n", 1))
+	if span != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	span.SetAttr(String("k", "v"))
+	span.End()
+	span.End()
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer has spans: %v", got)
+	}
+	if ctx == nil {
+		t.Fatal("nil tracer dropped the context")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := NewTracer()
+	_, s := tr.Start(context.Background(), "once")
+	s.End()
+	s.End()
+	if n := len(tr.Spans()); n != 1 {
+		t.Fatalf("double End recorded %d spans", n)
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.Start(context.Background(), "campaign", String("id", "c1"), Int("trials", 4))
+	_, child := tr.Start(ctx, "trial-batch")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("want 2 events, got %d", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %s ph = %q, want X", ev.Name, ev.Ph)
+		}
+	}
+	var sawCampaign, sawParent bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "campaign" {
+			sawCampaign = true
+			if ev.Args["id"] != "c1" {
+				t.Fatalf("campaign args = %v", ev.Args)
+			}
+		}
+		if _, ok := ev.Args["parent_span"]; ok {
+			sawParent = true
+		}
+	}
+	if !sawCampaign || !sawParent {
+		t.Fatalf("campaign=%v parent_span=%v in %s", sawCampaign, sawParent, buf.String())
+	}
+}
+
+func TestNilTracerWritesValidEmptyTrace(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid empty trace: %v", err)
+	}
+	if evs, ok := doc["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Fatalf("empty trace events = %v", doc["traceEvents"])
+	}
+}
+
+func TestMergeRemapsIDs(t *testing.T) {
+	dst := NewTracer()
+	_, d := dst.Start(context.Background(), "dst-root")
+	d.End()
+
+	src := NewTracer()
+	sctx, sroot := src.Start(context.Background(), "src-root")
+	_, schild := src.Start(sctx, "src-child")
+	schild.End()
+	sroot.End()
+
+	dst.Merge(src)
+	views := dst.Spans()
+	if len(views) != 3 {
+		t.Fatalf("want 3 spans after merge, got %d", len(views))
+	}
+	ids := map[uint64]bool{}
+	byName := map[string]SpanView{}
+	for _, v := range views {
+		if ids[v.ID] {
+			t.Fatalf("duplicate span id %d after merge", v.ID)
+		}
+		ids[v.ID] = true
+		byName[v.Name] = v
+	}
+	if byName["src-child"].Parent != byName["src-root"].ID {
+		t.Fatal("merge broke the src parent link")
+	}
+	if byName["src-root"].TID == byName["dst-root"].TID {
+		t.Fatal("merge collided lanes")
+	}
+	// Merging nil or self is a no-op.
+	dst.Merge(nil)
+	dst.Merge(dst)
+	if n := len(dst.Spans()); n != 3 {
+		t.Fatalf("no-op merges changed span count to %d", n)
+	}
+}

@@ -3,6 +3,9 @@
 # store, computes one prediction, restarts the server over the same
 # store, and checks the identical POST is answered from disk (flagged
 # cached, reported in /metrics) — with a clean SIGTERM drain both times.
+# Along the way it asserts the engine-telemetry metric families
+# (resmod_trial_total by outcome, duration histograms) reach /metrics
+# and that the outcome-labeled sum matches resmod_campaign_trials_total.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,7 +34,7 @@ boot() {
     pid=$!
     addr=
     for _ in $(seq 1 100); do
-        addr=$(sed -n 's#^serve: serving on http://\([^ ]*\).*#\1#p' "$log")
+        addr=$(sed -n 's#.*serving on http://\([^ ]*\).*#\1#p' "$log" | head -n1)
         [ -n "$addr" ] && break
         kill -0 "$pid" 2>/dev/null || fail "server exited before binding"
         sleep 0.1
@@ -66,16 +69,35 @@ for _ in $(seq 1 300); do
     sleep 0.1
 done
 [ "$status" = done ] || fail "job stuck in '$status'"
+
+# Engine telemetry must have reached /metrics: outcome-labeled trial
+# counters whose sum equals the campaign-trials total, plus the new
+# duration histograms.
+metrics=$(curl -fsS "http://$addr/metrics")
+echo "$metrics" | grep -q '^resmod_trial_total{outcome="success"} ' ||
+    fail "resmod_trial_total{outcome=...} missing from /metrics"
+echo "$metrics" | grep -q '^resmod_trial_duration_seconds_count ' ||
+    fail "resmod_trial_duration_seconds missing from /metrics"
+echo "$metrics" | grep -q '^resmod_campaign_duration_seconds_count ' ||
+    fail "resmod_campaign_duration_seconds missing from /metrics"
+outcome_sum=$(echo "$metrics" | awk -F' ' '/^resmod_trial_total{/ {s += $2} END {print s}')
+trials_total=$(echo "$metrics" | awk '/^resmod_campaign_trials_total / {print $2}')
+[ "$outcome_sum" = "$trials_total" ] ||
+    fail "outcome sum $outcome_sum != resmod_campaign_trials_total $trials_total"
+[ "$trials_total" -gt 0 ] || fail "cold run executed no trials"
 shutdown
 
 # --- warm run: a fresh process over the same store answers from disk -----
 boot warm
 curl -fsS -X POST "http://$addr/v1/predictions" -d "$body" |
     grep -q '"cached": true' || fail "warm POST not served from the store"
-curl -fsS "http://$addr/metrics" |
-    grep -q '^resmod_prediction_cache_hits_total 1$' || fail "cache hit missing from /metrics"
-curl -fsS "http://$addr/metrics" |
-    grep -q '^resmod_campaign_trials_total 0$' || fail "warm server re-ran campaign trials"
+# Capture the body before grepping: grep -q quitting early would
+# otherwise SIGPIPE curl and trip pipefail on a match.
+metrics=$(curl -fsS "http://$addr/metrics")
+echo "$metrics" | grep -q '^resmod_prediction_cache_hits_total 1$' ||
+    fail "cache hit missing from /metrics"
+echo "$metrics" | grep -q '^resmod_campaign_trials_total 0$' ||
+    fail "warm server re-ran campaign trials"
 shutdown
 
 echo "smoke: OK (cold compute, warm store hit across restart, clean drains)"

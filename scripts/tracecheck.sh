@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Trace smoke test: run a tiny campaign with -trace and validate the
+# emitted file is well-formed Chrome trace-event JSON containing at
+# least one complete ("ph":"X") campaign span.  The validator is a
+# standalone Go file so the check needs nothing beyond the toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/resmod" ./cmd/resmod
+"$workdir/resmod" campaign -app PENNANT -procs 2 -trials 4 -quiet \
+    -trace "$workdir/trace.json"
+
+cat >"$workdir/validate.go" <<'EOF'
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: invalid JSON:", err)
+		os.Exit(1)
+	}
+	campaigns := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			fmt.Fprintf(os.Stderr, "tracecheck: span %q has ph %q, want X\n", ev.Name, ev.Ph)
+			os.Exit(1)
+		}
+		if ev.Name == "campaign" {
+			campaigns++
+		}
+	}
+	if campaigns == 0 {
+		fmt.Fprintf(os.Stderr, "tracecheck: no campaign span in %d events\n", len(doc.TraceEvents))
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: OK (%d spans, %d campaign)\n", len(doc.TraceEvents), campaigns)
+}
+EOF
+go run "$workdir/validate.go" "$workdir/trace.json"
