@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race cover bench experiments report serve smoke trace clean
+.PHONY: all build fmt vet test test-short race cover bench gobench experiments report serve smoke trace clean
 
 all: build test
 
@@ -28,7 +28,21 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# Measure PredictAll wall time sequential-vs-concurrent over the six
+# paper benchmarks and record it (with a bit-identical-results check)
+# in BENCH_pr4.json.  The speedup tracks the core count; on one core
+# the two runs tie.  BENCH_TRIALS/BENCH_SMALL/BENCH_LARGE shrink the
+# workload for CI.
+BENCH_TRIALS ?= 100
+BENCH_SMALL  ?= 4
+BENCH_LARGE  ?= 16
 bench:
+	$(GO) run ./cmd/resmod bench -trials $(BENCH_TRIALS) \
+		-small $(BENCH_SMALL) -large $(BENCH_LARGE)
+
+# Go micro-benchmarks (testing.B), kept separate from the wall-clock
+# scheduler bench above.
+gobench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and figure (console form).

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"resmod/internal/exper"
+	"resmod/internal/faultsim"
+)
+
+// benchOutFile is where the bench subcommand records its measurements;
+// CI uploads it as an artifact, giving the repo a perf trajectory across
+// PRs.
+const benchOutFile = "BENCH_pr4.json"
+
+// benchResult is the schema of BENCH_pr4.json.
+type benchResult struct {
+	Bench string `json:"bench"`
+	// GoMaxProcs is the core budget the run actually had; the concurrent
+	// scheduler cannot beat sequential execution on one core, so readers
+	// must interpret Speedup against it.
+	GoMaxProcs int      `json:"go_maxprocs"`
+	Apps       []string `json:"apps"`
+	Trials     int      `json:"trials"`
+	Seed       uint64   `json:"seed"`
+	Small      int      `json:"small"`
+	Large      int      `json:"large"`
+	// CampaignParallel is the concurrent run's campaign-slot count.
+	CampaignParallel int `json:"campaign_parallel"`
+	// SequentialNS and ConcurrentNS are the PredictAll wall times with
+	// -campaign-parallel 1 and N respectively, each from a fresh session
+	// (no shared cache, so both runs execute every campaign).
+	SequentialNS int64   `json:"sequential_ns"`
+	ConcurrentNS int64   `json:"concurrent_ns"`
+	Speedup      float64 `json:"speedup"`
+	// Identical reports that the two runs produced byte-identical
+	// campaign SummaryRecords (wall-clock field excluded) and identical
+	// prediction rows — the scheduler's correctness contract.
+	Identical bool `json:"identical"`
+}
+
+// doBench measures PredictAll sequential-vs-concurrent wall time on a
+// fixed workload and writes BENCH_pr4.json.  The workload honors the
+// common flags (-trials, -seed, -apps, -small, -large, -workers).
+func doBench(ctx context.Context, o options, out, errw io.Writer) error {
+	names := splitApps(o.apps)
+	if len(names) == 0 {
+		names = exper.PaperBenchmarks
+	}
+
+	run := func(parallel int) (time.Duration, []exper.PredictionRow, map[string]string, error) {
+		recs := make(map[string]string)
+		var mu sync.Mutex
+		s := exper.NewSession(exper.Config{
+			Trials: o.trials, Seed: o.seed, Workers: o.workers,
+			CampaignParallel: parallel,
+			Ctx:              ctx, Budget: o.budget,
+			OnCampaign: func(id string, sum *faultsim.Summary) {
+				rec := sum.Record(id)
+				rec.ElapsedNS = 0 // wall time is the one nondeterministic field
+				b, err := json.Marshal(rec)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				recs[id] = string(b)
+				mu.Unlock()
+			},
+		})
+		start := time.Now()
+		rows, err := exper.PredictAll(s, names, o.small, o.large)
+		elapsed := time.Since(start)
+		for i := range rows {
+			rows[i].SmallTime, rows[i].SerialTime = 0, 0
+		}
+		return elapsed, rows, recs, err
+	}
+
+	fmt.Fprintf(errw, "bench: sequential PredictAll (%d apps, trials=%d, small=%d, large=%d)...\n",
+		len(names), o.trials, o.small, o.large)
+	seqD, seqRows, seqRecs, err := run(1)
+	if err != nil {
+		return fmt.Errorf("bench: sequential run: %w", err)
+	}
+	parallel := o.campaignParallel
+	if parallel <= 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(errw, "bench: concurrent PredictAll (campaign-parallel=%d)...\n", parallel)
+	conD, conRows, conRecs, err := run(parallel)
+	if err != nil {
+		return fmt.Errorf("bench: concurrent run: %w", err)
+	}
+
+	identical := len(seqRows) == len(conRows) && len(seqRecs) == len(conRecs)
+	if identical {
+		for i := range seqRows {
+			if seqRows[i] != conRows[i] {
+				identical = false
+				break
+			}
+		}
+		for id, rec := range seqRecs {
+			if conRecs[id] != rec {
+				identical = false
+				break
+			}
+		}
+	}
+	if !identical {
+		return fmt.Errorf("bench: concurrent results differ from sequential — scheduler broke determinism")
+	}
+
+	res := benchResult{
+		Bench:            "predict_all",
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		Apps:             names,
+		Trials:           o.trials,
+		Seed:             o.seed,
+		Small:            o.small,
+		Large:            o.large,
+		CampaignParallel: parallel,
+		SequentialNS:     seqD.Nanoseconds(),
+		ConcurrentNS:     conD.Nanoseconds(),
+		Identical:        true,
+	}
+	if conD > 0 {
+		res.Speedup = float64(seqD) / float64(conD)
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchOutFile, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", benchOutFile, err)
+	}
+	fmt.Fprintf(out, "sequential: %v\nconcurrent: %v (campaign-parallel=%d, cores=%d)\nspeedup: %.2fx, bit-identical: %v\nwrote %s\n",
+		seqD.Round(time.Millisecond), conD.Round(time.Millisecond),
+		parallel, res.GoMaxProcs, res.Speedup, res.Identical, benchOutFile)
+	return nil
+}

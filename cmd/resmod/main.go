@@ -69,17 +69,18 @@ func main() {
 }
 
 type options struct {
-	trials  int
-	seed    uint64
-	apps    string
-	quiet   bool
-	workers int
-	app     string
-	class   string
-	small   int
-	large   int
-	json    bool
-	budget  time.Duration
+	trials           int
+	seed             uint64
+	apps             string
+	quiet            bool
+	workers          int
+	campaignParallel int
+	app              string
+	class            string
+	small            int
+	large            int
+	json             bool
+	budget           time.Duration
 }
 
 // emit renders v as JSON when -json is set and returns true.
@@ -116,6 +117,8 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs.Uint64Var(&o.seed, "seed", 2018, "campaign seed")
 	fs.StringVar(&o.apps, "apps", "", "comma-separated benchmark subset (default: all)")
 	fs.IntVar(&o.workers, "workers", 0, "trial-level concurrency (default GOMAXPROCS)")
+	fs.IntVar(&o.campaignParallel, "campaign-parallel", 0,
+		"concurrent campaigns (default GOMAXPROCS; 1 = sequential)")
 	fs.StringVar(&o.app, "app", "CG", "benchmark for the predict experiment")
 	fs.StringVar(&o.class, "class", "", "problem class (default: app default)")
 	fs.IntVar(&o.small, "small", 8, "small-scale rank count for predict")
@@ -131,7 +134,8 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	tctx, root := rt.context(ctx, "resmod "+cmd)
 	s := exper.NewSession(exper.Config{
 		Trials: o.trials, Seed: o.seed, Workers: o.workers,
-		Ctx: tctx, Budget: o.budget,
+		CampaignParallel: o.campaignParallel,
+		Ctx:              tctx, Budget: o.budget,
 	})
 	names := splitApps(o.apps)
 
@@ -180,6 +184,8 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		err = doTrace(o, out)
 	case "stability":
 		err = doStability(s, o, out)
+	case "bench":
+		err = doBench(tctx, o, out, errw)
 	default:
 		usage(errw)
 		return fmt.Errorf("unknown experiment %q", cmd)
@@ -201,10 +207,11 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: resmod <experiment> [flags]
 experiments: apps table1 table2 fig1 fig2 fig3 fig5 fig6 fig7 fig8 overhead predict all report
 extras:      campaign ablate trace stability baselines modelablate scalesweep advise
+             bench (sequential-vs-concurrent PredictAll wall times -> BENCH_pr4.json)
              (use -app, -class, -small, -large)
 service:     serve -listen HOST:PORT -store DIR -workers N -queue N -drain D
              -pprof-addr HOST:PORT (optional net/http/pprof listener)
-flags: -trials N -seed N -apps CG,FT,... -workers N -budget D
+flags: -trials N -seed N -apps CG,FT,... -workers N -campaign-parallel N -budget D
        -quiet (warnings only) -v (debug) -trace FILE (Chrome trace JSON)
        (predict only) -app NAME -class C -small S -large P
        (campaign only) -checkpoint FILE -resume -max-abnormal N -retries N

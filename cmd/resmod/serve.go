@@ -19,17 +19,18 @@ import (
 // misconfigured service exits non-zero with a usable message before it
 // binds the listener.
 type serveOptions struct {
-	listen          string
-	workers         int
-	queue           int
-	storeDir        string
-	cache           int
-	trials          int
-	seed            uint64
-	campaignWorkers int
-	drain           time.Duration
-	pprofAddr       string
-	tf              telFlags
+	listen           string
+	workers          int
+	queue            int
+	storeDir         string
+	cache            int
+	trials           int
+	seed             uint64
+	campaignWorkers  int
+	campaignParallel int
+	drain            time.Duration
+	pprofAddr        string
+	tf               telFlags
 }
 
 // validate rejects configurations that could only fail later (or worse,
@@ -57,6 +58,9 @@ func (o serveOptions) validate() error {
 	}
 	if o.campaignWorkers < 0 {
 		return fmt.Errorf("-campaign-workers must be non-negative, got %d", o.campaignWorkers)
+	}
+	if o.campaignParallel < 0 {
+		return fmt.Errorf("-campaign-parallel must be non-negative, got %d", o.campaignParallel)
 	}
 	if o.drain <= 0 {
 		return fmt.Errorf("-drain must be positive, got %v", o.drain)
@@ -112,6 +116,8 @@ func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs.IntVar(&o.trials, "trials", 400, "fault injection tests per campaign (paper: 4000)")
 	fs.Uint64Var(&o.seed, "seed", 2018, "campaign seed")
 	fs.IntVar(&o.campaignWorkers, "campaign-workers", 0, "trial-level concurrency (default GOMAXPROCS)")
+	fs.IntVar(&o.campaignParallel, "campaign-parallel", 0,
+		"concurrent campaigns per prediction job (default GOMAXPROCS; 1 = sequential)")
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 	fs.StringVar(&o.pprofAddr, "pprof-addr", "", "host:port for a net/http/pprof listener (empty: disabled)")
 	o.tf.register(fs)
@@ -129,9 +135,10 @@ func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
 	cfg := server.Config{
 		Trials: o.trials, Seed: o.seed,
 		Workers: o.workers, Queue: o.queue,
-		CampaignWorkers: o.campaignWorkers,
-		Logger:          rt.tel.Logger(),
-		Tracer:          rt.tracer,
+		CampaignWorkers:  o.campaignWorkers,
+		CampaignParallel: o.campaignParallel,
+		Logger:           rt.tel.Logger(),
+		Tracer:           rt.tracer,
 	}
 	if o.storeDir != "" {
 		st, err := store.Open(store.Config{Dir: o.storeDir, MaxEntries: o.cache})

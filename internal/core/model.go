@@ -100,6 +100,22 @@ func times(r stats.Rates, alpha [3]float64) stats.Rates {
 	}
 }
 
+// renormalize rescales a rate triple so the components again sum to 1.
+// Componentwise alpha scaling distorts the total mass, but FI results are
+// distributions over {Success, SDC, Failure}; a tuned sample that summed
+// to anything else would leak that distortion into FI_par via Eqs. 4 and
+// 1.  Rates with no mass are returned unchanged.
+func renormalize(r stats.Rates) stats.Rates {
+	sum := r.Success + r.SDC + r.Failure
+	if sum <= 0 {
+		return r
+	}
+	r.Success /= sum
+	r.SDC /= sum
+	r.Failure /= sum
+	return r
+}
+
 // alphaOf computes the componentwise fine-tuning factor
 // alpha = small / serial with a guard: components with no serial mass get
 // factor 1 (nothing to scale).
@@ -141,11 +157,14 @@ type Inputs struct {
 	// restricted to the parallel-unique computation.  Ignored when Prob2
 	// is 0.
 	Unique stats.Rates
-	// TuneThreshold is the serial-vs-small disagreement (relative, on the
-	// success rate) above which fine-tuning activates.  Zero means the
-	// paper's 20%.
+	// ForceTune, when non-nil, overrides the automatic tuning decision:
+	// true always applies alpha fine-tuning, false never does.  Nil (the
+	// default) lets the measured disagreement against TuneThreshold
+	// decide.
 	ForceTune *bool
-	// TuneThreshold overrides the paper's 0.2 when positive.
+	// TuneThreshold is the serial-vs-small disagreement (relative, on the
+	// success rate) above which fine-tuning activates.  Non-positive
+	// selects the paper's 0.2.
 	TuneThreshold float64
 }
 
@@ -232,7 +251,7 @@ func Predict(in Inputs) (*Prediction, error) {
 					a = alphaOf(small, in.Serial.Rates[i])
 				}
 			}
-			samples[i] = times(samples[i], a)
+			samples[i] = renormalize(times(samples[i], a))
 		}
 	}
 

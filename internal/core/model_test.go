@@ -244,13 +244,52 @@ func TestAlphaBeyondSUsesAlphaS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Bucket 2's sample is x=8: alpha_S = small_2/ser@2 = 0.2/0.8 = 0.25,
-	// tuned sample success = 0.4 * 0.25 = 0.1.
+	// Bucket 2's sample is x=8: alpha_S = small_2/ser@2 = 0.2/0.8 = 0.25
+	// componentwise (0.25, 4, 1), so the scaled sample is
+	// (0.4*0.25, 0.6*4, 0) = (0.1, 2.4, 0) — mass 2.5 — which
+	// renormalizes to success 0.1/2.5 = 0.04.
 	if !pred.Tuned {
 		t.Fatal("expected tuning")
 	}
-	if math.Abs(pred.Rates.Success-0.1) > 1e-12 {
-		t.Fatalf("success = %g, want 0.1", pred.Rates.Success)
+	if math.Abs(pred.Rates.Success-0.04) > 1e-12 {
+		t.Fatalf("success = %g, want 0.04", pred.Rates.Success)
+	}
+	assertDistribution(t, pred.Rates)
+}
+
+// assertDistribution checks that a predicted FI result is a probability
+// distribution over {Success, SDC, Failure}.
+func assertDistribution(t *testing.T, r stats.Rates) {
+	t.Helper()
+	sum := r.Success + r.SDC + r.Failure
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("rates sum to %g, want 1: %+v", sum, r)
+	}
+}
+
+func TestTunedPredictionRatesSumToOne(t *testing.T) {
+	// Componentwise alpha scaling distorts sample mass (here alpha =
+	// (0.25, 4, 1) on a sample summing to 1); the tuned prediction must
+	// still be a distribution, including under prob2 mixing.
+	serial := mustCurve(t, 8, []stats.Rates{r(0.8, 0.2, 0), r(0.4, 0.6, 0)})
+	cond := map[int]stats.Rates{
+		1: r(0.4, 0.6, 0),
+		2: r(0.2, 0.8, 0),
+	}
+	for _, prob2 := range []float64{0, 0.15, 0.5} {
+		pred, err := Predict(Inputs{
+			P: 8, Serial: serial, SmallProfile: []float64{0.3, 0.7},
+			SmallConditional: cond,
+			Prob2:            prob2, Unique: r(0.3, 0.6, 0.1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pred.Tuned {
+			t.Fatal("expected tuning")
+		}
+		assertDistribution(t, pred.Rates)
+		assertDistribution(t, pred.Common)
 	}
 }
 

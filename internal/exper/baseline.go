@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -50,27 +51,39 @@ func Baselines(s *Session, names []string, small, large int) ([]BaselineRow, err
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]BaselineRow, 0, len(list))
-	for _, a := range list {
-		row, err := PredictOne(s, a.Name(), "", small, large)
-		if err != nil {
-			return nil, err
-		}
-		serial1, err := s.Campaign(a, "", 1, 1, faultsim.CommonOnly)
-		if err != nil {
-			return nil, err
-		}
-		smallSum, err := s.Campaign(a, "", small, 1, faultsim.AnyRegion)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, BaselineRow{
-			Bench: a.Name(), Class: row.Class, Small: small, Large: large,
-			Measured:   row.Measured.Success,
-			Model:      row.Predicted.Success,
-			SerialOnly: serial1.Rates.Success,
-			SmallOnly:  smallSum.Rates.Success,
+	// One concurrent task per benchmark; within a task the baseline
+	// campaigns follow the prediction, whose DAG already ran them (the
+	// serial single-error point and the small-scale deployment), so they
+	// resolve from the session's singleflight cache.
+	rows := make([]BaselineRow, len(list))
+	g := newGroup(s.Context())
+	for i, a := range list {
+		i, a := i, a
+		g.Go(func(ctx context.Context) error {
+			row, err := PredictOneCtx(ctx, s, a.Name(), "", small, large)
+			if err != nil {
+				return err
+			}
+			serial1, err := s.CampaignCtx(ctx, a, "", 1, 1, faultsim.CommonOnly)
+			if err != nil {
+				return err
+			}
+			smallSum, err := s.CampaignCtx(ctx, a, "", small, 1, faultsim.AnyRegion)
+			if err != nil {
+				return err
+			}
+			rows[i] = BaselineRow{
+				Bench: a.Name(), Class: row.Class, Small: small, Large: large,
+				Measured:   row.Measured.Success,
+				Model:      row.Predicted.Success,
+				SerialOnly: serial1.Rates.Success,
+				SmallOnly:  smallSum.Rates.Success,
+			}
+			return nil
 		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,106 @@
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"resmod/internal/faultsim"
+)
+
+// recordCampaigns wires an OnCampaign hook that serializes every executed
+// campaign's SummaryRecord with the wall-clock field zeroed (Elapsed is
+// the only nondeterministic summary field; rates, histograms and spreads
+// are aggregation-order independent).
+func recordCampaigns(t *testing.T) (map[string][]byte, func(string, *faultsim.Summary)) {
+	t.Helper()
+	recs := make(map[string][]byte)
+	var mu sync.Mutex
+	return recs, func(id string, sum *faultsim.Summary) {
+		rec := sum.Record(id)
+		rec.ElapsedNS = 0
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Errorf("marshal %s: %v", id, err)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, ok := recs[id]; ok && !bytes.Equal(prev, b) {
+			t.Errorf("campaign %s executed twice with different records", id)
+		}
+		recs[id] = b
+	}
+}
+
+// stripWallClock zeroes a row's wall-clock cost fields (per-campaign
+// elapsed times vary run to run); everything else must be exactly equal.
+func stripWallClock(rows []PredictionRow) []PredictionRow {
+	out := make([]PredictionRow, len(rows))
+	copy(out, rows)
+	for i := range out {
+		out[i].SmallTime = 0
+		out[i].SerialTime = 0
+	}
+	return out
+}
+
+// TestPredictAllDeterministicAcrossCampaignParallel is the satellite-5
+// acceptance test: the same Config.Seed with campaign-parallel 1
+// (sequential) versus N must produce byte-identical SummaryRecords for
+// every executed campaign and identical PredictionRows for every paper
+// benchmark at small scale.
+func TestPredictAllDeterministicAcrossCampaignParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every paper benchmark twice")
+	}
+	const (
+		trials = 12
+		seed   = 42
+		small  = 2
+		large  = 4
+	)
+	run := func(parallel int) ([]PredictionRow, map[string][]byte) {
+		recs, hook := recordCampaigns(t)
+		s := NewSession(Config{
+			Trials: trials, Seed: seed,
+			CampaignParallel: parallel, Workers: 2,
+			OnCampaign: hook,
+		})
+		rows, err := PredictAll(s, nil, small, large)
+		if err != nil {
+			t.Fatalf("campaign-parallel %d: %v", parallel, err)
+		}
+		return stripWallClock(rows), recs
+	}
+
+	seqRows, seqRecs := run(1)
+	parRows, parRecs := run(8)
+
+	if len(seqRecs) == 0 {
+		t.Fatal("no campaigns recorded")
+	}
+	if len(seqRecs) != len(parRecs) {
+		t.Fatalf("sequential executed %d campaigns, parallel %d", len(seqRecs), len(parRecs))
+	}
+	for id, want := range seqRecs {
+		got, ok := parRecs[id]
+		if !ok {
+			t.Errorf("campaign %s executed sequentially but not in parallel", id)
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("campaign %s record differs:\nseq: %s\npar: %s", id, want, got)
+		}
+	}
+
+	if len(seqRows) != len(parRows) {
+		t.Fatalf("row counts differ: %d vs %d", len(seqRows), len(parRows))
+	}
+	for i := range seqRows {
+		if seqRows[i] != parRows[i] {
+			t.Errorf("row %d differs:\nseq: %+v\npar: %+v", i, seqRows[i], parRows[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -38,15 +39,31 @@ func Fig3(s *Session, name string, procs int) (*Fig3Result, error) {
 		ParallelSuccess: make([]float64, procs),
 		HasParallel:     make([]bool, procs),
 	}
+	// Every serial curve point and the parallel deployment are
+	// independent campaigns; submit them all and let the session's
+	// scheduler bound execution.
+	var par *faultsim.Summary
+	g := newGroup(s.Context())
 	for x := 1; x <= procs; x++ {
-		ser, err := s.Campaign(a, class, 1, x, faultsim.CommonOnly)
-		if err != nil {
-			return nil, err
-		}
-		res.SerialSuccess[x-1] = ser.Rates.Success
+		x := x
+		g.Go(func(ctx context.Context) error {
+			ser, err := s.CampaignCtx(ctx, a, class, 1, x, faultsim.CommonOnly)
+			if err != nil {
+				return err
+			}
+			res.SerialSuccess[x-1] = ser.Rates.Success
+			return nil
+		})
 	}
-	par, err := s.Campaign(a, class, procs, 1, faultsim.AnyRegion)
-	if err != nil {
+	g.Go(func(ctx context.Context) error {
+		sum, err := s.CampaignCtx(ctx, a, class, procs, 1, faultsim.AnyRegion)
+		if err != nil {
+			return err
+		}
+		par = sum
+		return nil
+	})
+	if err := g.Wait(); err != nil {
 		return nil, err
 	}
 	for x := 1; x <= procs; x++ {

@@ -26,7 +26,10 @@ type PredictionRow struct {
 	// Error is |measured - predicted| success rate.
 	Error float64
 	// SmallTime is the wall time of the small-scale deployment and
-	// SerialTime of one serial deployment, for the Figure 8 cost axis.
+	// SerialTime the *average* serial campaign time (the total over the
+	// sampled serial deployments divided by the number of sample points),
+	// for the Figure 8 cost axis.  Both are per-campaign elapsed times,
+	// independent of how many campaigns ran concurrently.
 	SmallTime  time.Duration
 	SerialTime time.Duration
 }
@@ -41,60 +44,95 @@ func gatherModelInputs(s *Session, a apps.App, class string, small, large int) (
 
 func gatherModelInputsTimed(ctx context.Context, s *Session, a apps.App, class string, small, large int) (
 	*core.Inputs, time.Duration, time.Duration, stats.Rates, error) {
-	// Serial curve at the paper's sampling points.
 	xs, err := core.SampleXs(large, small)
 	if err != nil {
 		return nil, 0, 0, stats.Rates{}, err
 	}
-	rates := make([]stats.Rates, len(xs))
-	var serialTime time.Duration
+
+	// The prediction's campaign DAG: every serial curve point, the
+	// small-scale profile deployment and the measured large run are
+	// mutually independent; the unique-region deployment depends only on
+	// the large golden (whose UniqueFraction decides whether it runs at
+	// all).  All stages are submitted at once and execute under the
+	// session's campaign-parallel slots and shared worker budget;
+	// timings are per-campaign Elapsed sums, so SmallTime/SerialTime are
+	// identical however many stages overlap.
+	var (
+		rates       = make([]stats.Rates, len(xs))
+		serialTimes = make([]time.Duration, len(xs))
+		smallSum    *faultsim.Summary
+		prob2       float64
+		unique      stats.Rates
+		measured    stats.Rates
+	)
+	g := newGroup(ctx)
 	for i, x := range xs {
-		sum, err := s.CampaignCtx(ctx, a, class, 1, x, faultsim.CommonOnly)
-		if err != nil {
-			return nil, 0, 0, stats.Rates{}, err
-		}
-		rates[i] = sum.Rates
-		serialTime += sum.Elapsed
+		i, x := i, x
+		g.Go(func(ctx context.Context) error {
+			sum, err := s.CampaignCtx(ctx, a, class, 1, x, faultsim.CommonOnly)
+			if err != nil {
+				return err
+			}
+			rates[i] = sum.Rates
+			serialTimes[i] = sum.Elapsed
+			return nil
+		})
 	}
+	g.Go(func(ctx context.Context) error {
+		// Small-scale deployment: propagation profile, conditional rates.
+		sum, err := s.CampaignCtx(ctx, a, class, small, 1, faultsim.AnyRegion)
+		if err != nil {
+			return err
+		}
+		smallSum = sum
+		return nil
+	})
+	g.Go(func(ctx context.Context) error {
+		// Parallel-unique weight from the large-scale golden run (one
+		// clean run — cheap; the expensive part the model avoids is the
+		// large-scale deployment's thousands of injected runs), then the
+		// unique-region deployment it gates.
+		golden, err := s.GoldenCtx(ctx, a, class, large)
+		if err != nil {
+			return err
+		}
+		prob2 = golden.UniqueFraction()
+		if prob2 > 0 {
+			uc, err := s.CampaignCtx(ctx, a, class, small, 1, faultsim.UniqueOnly)
+			if err != nil {
+				return err
+			}
+			unique = uc.Rates
+		}
+		return nil
+	})
+	g.Go(func(ctx context.Context) error {
+		// Ground truth: the measured large-scale deployment.
+		sum, err := s.CampaignCtx(ctx, a, class, large, 1, faultsim.AnyRegion)
+		if err != nil {
+			return err
+		}
+		measured = sum.Rates
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		return nil, 0, 0, stats.Rates{}, err
+	}
+
 	curve, err := core.NewSerialCurve(large, xs, rates)
 	if err != nil {
 		return nil, 0, 0, stats.Rates{}, err
 	}
-	serialTime /= time.Duration(len(xs))
-
-	// Small-scale deployment: propagation profile, conditional rates.
-	smallSum, err := s.CampaignCtx(ctx, a, class, small, 1, faultsim.AnyRegion)
-	if err != nil {
-		return nil, 0, 0, stats.Rates{}, err
+	var serialTime time.Duration
+	for _, d := range serialTimes {
+		serialTime += d
 	}
+	serialTime /= time.Duration(len(xs))
 	cond := make(map[int]stats.Rates)
 	for x := 1; x <= small; x++ {
 		if r, ok := smallSum.ConditionalRates(x); ok {
 			cond[x] = r
 		}
-	}
-
-	// Parallel-unique weight from the large-scale golden run (one clean
-	// run — cheap; the expensive part the model avoids is the large-scale
-	// deployment's thousands of injected runs).
-	golden, err := s.GoldenCtx(ctx, a, class, large)
-	if err != nil {
-		return nil, 0, 0, stats.Rates{}, err
-	}
-	prob2 := golden.UniqueFraction()
-	var unique stats.Rates
-	if prob2 > 0 {
-		uc, err := s.CampaignCtx(ctx, a, class, small, 1, faultsim.UniqueOnly)
-		if err != nil {
-			return nil, 0, 0, stats.Rates{}, err
-		}
-		unique = uc.Rates
-	}
-
-	// Ground truth: the measured large-scale deployment.
-	measured, err := s.CampaignCtx(ctx, a, class, large, 1, faultsim.AnyRegion)
-	if err != nil {
-		return nil, 0, 0, stats.Rates{}, err
 	}
 
 	in := &core.Inputs{
@@ -105,7 +143,7 @@ func gatherModelInputsTimed(ctx context.Context, s *Session, a apps.App, class s
 		Prob2:            prob2,
 		Unique:           unique,
 	}
-	return in, smallSum.Elapsed, serialTime, measured.Rates, nil
+	return in, smallSum.Elapsed, serialTime, measured, nil
 }
 
 // PredictOne runs the full modeling pipeline of §4 for one benchmark:
@@ -155,19 +193,30 @@ func PredictOneCtx(ctx context.Context, s *Session, name, class string, small, l
 }
 
 // PredictAll runs PredictOne for every named benchmark (all registered
-// when names is empty) — one of the paper's Figure 5/6 panels.
+// when names is empty) — one of the paper's Figure 5/6 panels.  All
+// benchmarks' campaign DAGs are submitted concurrently (the session's
+// scheduler bounds actual execution); row order follows the name order
+// regardless of completion order.
 func PredictAll(s *Session, names []string, small, large int) ([]PredictionRow, error) {
 	list, err := resolveApps(names)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]PredictionRow, 0, len(list))
-	for _, a := range list {
-		row, err := PredictOne(s, a.Name(), "", small, large)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, *row)
+	rows := make([]PredictionRow, len(list))
+	g := newGroup(s.Context())
+	for i, a := range list {
+		i, a := i, a
+		g.Go(func(ctx context.Context) error {
+			row, err := PredictOneCtx(ctx, s, a.Name(), "", small, large)
+			if err != nil {
+				return err
+			}
+			rows[i] = *row
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"runtime"
 	"sync"
 	"time"
 
@@ -29,8 +30,19 @@ type Config struct {
 	Seed uint64
 	// Timeout is the per-test hang budget.
 	Timeout time.Duration
-	// Workers is the per-campaign trial concurrency.
+	// Workers is the per-campaign trial concurrency.  It also sizes the
+	// session's shared worker-token budget: no matter how many campaigns
+	// execute concurrently (see CampaignParallel), their combined
+	// in-flight trials never exceed this many (GOMAXPROCS when zero), so
+	// campaign-level parallelism composes with trial-level parallelism
+	// without oversubscribing the machine.
 	Workers int
+	// CampaignParallel is the number of campaigns the session may execute
+	// concurrently.  Non-positive selects GOMAXPROCS; 1 restores strictly
+	// sequential campaign execution.  Each campaign is deterministic in
+	// (Campaign, Seed) and the shared worker budget only throttles
+	// scheduling, so results are bit-identical at every setting.
+	CampaignParallel int
 	// Log, when non-nil, receives progress events.  It is a compatibility
 	// bridge: when Ctx carries no telemetry bundle, the session builds an
 	// info-level structured logger writing here.  A telemetry bundle on
@@ -82,6 +94,9 @@ func (c Config) withDefaults() Config {
 	if c.Timeout <= 0 {
 		c.Timeout = apps.DefaultTimeout
 	}
+	if c.CampaignParallel <= 0 {
+		c.CampaignParallel = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -90,29 +105,97 @@ func (c Config) withDefaults() Config {
 // them once.  Concurrent callers asking for the same golden or campaign
 // share a single in-flight computation (per-key singleflight) instead of
 // computing it twice.
+//
+// Campaign executions are additionally scheduled through two bounds:
+// slots caps how many campaigns execute at once (Config.CampaignParallel)
+// and pool is the worker-token budget shared by their trial loops
+// (Config.Workers tokens), so saturating the campaign slots cannot
+// oversubscribe the machine.
 type Session struct {
-	cfg Config
-	tel *telemetry.Telemetry
+	cfg   Config
+	tel   *telemetry.Telemetry
+	slots chan struct{}
+	pool  *faultsim.WorkerBudget
 
 	mu      sync.Mutex
-	goldens map[string]*goldenCall
-	camps   map[string]*campaignCall
+	goldens map[string]*flight[*faultsim.Golden]
+	camps   map[string]*flight[*faultsim.Summary]
 }
 
-// goldenCall is one singleflight slot: the first caller runs the
-// computation inside once; everyone else blocks on it and shares the
-// result.
-type goldenCall struct {
-	once sync.Once
-	g    *faultsim.Golden
-	err  error
+// flight is one singleflight slot.  The computation runs in its own
+// goroutine under a context detached from any single caller: it derives
+// from the session's base context (so session shutdown still cancels it)
+// and is cancelled only when the last interested waiter gives up.  This
+// is what lets a later caller that deduped onto an in-flight computation
+// survive the first caller's cancellation.
+type flight[T any] struct {
+	done    chan struct{} // closed after val/err are set
+	val     T
+	err     error
+	waiters int // guarded by Session.mu
+	cancel  context.CancelFunc
 }
 
-// campaignCall is the campaign-summary singleflight slot.
-type campaignCall struct {
-	once sync.Once
-	sum  *faultsim.Summary
-	err  error
+// join is the singleflight entry: it attaches to the in-flight
+// computation for key, starting one (under run) if none exists.  Each
+// caller waits on its own ctx; the last waiter to abandon the flight
+// cancels the shared computation and clears the slot so a later caller
+// can retry.
+func join[T any](s *Session, ctx context.Context, m map[string]*flight[T], key string,
+	run func(ctx context.Context) (T, error)) (T, error) {
+	s.mu.Lock()
+	f := m[key]
+	if f == nil {
+		f = &flight[T]{done: make(chan struct{}), waiters: 1}
+		// The shared computation keeps the first caller's telemetry
+		// bundle (its tracer owns the campaign spans) but not its
+		// cancellation: it must outlive any individual waiter.
+		runCtx, cancel := context.WithCancel(telemetry.With(s.baseCtx(), telemetry.From(ctx)))
+		f.cancel = cancel
+		m[key] = f
+		go func() {
+			defer cancel()
+			f.val, f.err = run(runCtx)
+			if f.err != nil {
+				// Drop the failed slot so a later caller can retry
+				// (e.g. after a transient cancellation).  Waiters
+				// already attached still observe the error.
+				s.mu.Lock()
+				if m[key] == f {
+					delete(m, key)
+				}
+				s.mu.Unlock()
+			}
+			close(f.done)
+		}()
+	} else {
+		f.waiters++
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-f.done:
+		s.mu.Lock()
+		f.waiters--
+		s.mu.Unlock()
+		return f.val, f.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		f.waiters--
+		abandoned := f.waiters == 0
+		if abandoned && m[key] == f {
+			// Clear the slot immediately so callers arriving between
+			// this cancellation and the computation's exit start a
+			// fresh flight instead of inheriting a doomed one.
+			delete(m, key)
+		}
+		s.mu.Unlock()
+		if abandoned {
+			f.cancel()
+		}
+		var zero T
+		return zero, ctx.Err()
+	}
 }
 
 // NewSession creates a session.  Its telemetry bundle comes from
@@ -132,8 +215,10 @@ func NewSession(cfg Config) *Session {
 	return &Session{
 		cfg:     cfg,
 		tel:     tel,
-		goldens: make(map[string]*goldenCall),
-		camps:   make(map[string]*campaignCall),
+		slots:   make(chan struct{}, cfg.CampaignParallel),
+		pool:    faultsim.NewWorkerBudget(cfg.Workers),
+		goldens: make(map[string]*flight[*faultsim.Golden]),
+		camps:   make(map[string]*flight[*faultsim.Summary]),
 	}
 }
 
@@ -172,34 +257,24 @@ func (s *Session) Golden(app apps.App, class string, procs int) (*faultsim.Golde
 
 // GoldenCtx is Golden under a caller-supplied context: cancellation and
 // telemetry (spans, events, metrics) follow ctx.  Under the per-key
-// singleflight the first caller's context drives the shared computation.
+// singleflight the shared computation carries the first caller's
+// telemetry but stays alive while any waiter's context is.
 func (s *Session) GoldenCtx(ctx context.Context, app apps.App, class string, procs int) (*faultsim.Golden, error) {
 	ctx = s.telemetryCtx(ctx)
 	if class == "" {
 		class = app.DefaultClass()
 	}
 	key := fmt.Sprintf("%s/%s/p%d", app.Name(), class, procs)
-	s.mu.Lock()
-	call := s.goldens[key]
-	if call == nil {
-		call = &goldenCall{}
-		s.goldens[key] = call
-	}
-	s.mu.Unlock()
-	call.once.Do(func() {
-		call.g, call.err = faultsim.ComputeGoldenCtx(ctx, app, class, procs, s.cfg.Timeout)
-	})
-	if call.err != nil {
-		// Drop the failed slot so a later caller can retry (e.g. after a
-		// transient cancellation).
-		s.mu.Lock()
-		if s.goldens[key] == call {
-			delete(s.goldens, key)
+	return join(s, ctx, s.goldens, key, func(runCtx context.Context) (*faultsim.Golden, error) {
+		// A golden run occupies the machine like one in-flight trial;
+		// under campaign-level concurrency it draws from the same
+		// worker budget so N campaigns warming up don't oversubscribe.
+		if err := s.pool.Acquire(runCtx); err != nil {
+			return nil, err
 		}
-		s.mu.Unlock()
-		return nil, call.err
-	}
-	return call.g, nil
+		defer s.pool.Release()
+		return faultsim.ComputeGoldenCtx(runCtx, app, class, procs, s.cfg.Timeout)
+	})
 }
 
 // Campaign returns (running and caching on first use) a deployment summary.
@@ -211,41 +286,31 @@ func (s *Session) Campaign(app apps.App, class string, procs, errors int, region
 }
 
 // CampaignCtx is Campaign under a caller-supplied context: cancellation
-// and telemetry follow ctx.  Under the singleflight the first caller's
-// context drives the shared run.
+// and telemetry follow ctx.  Under the singleflight the shared run
+// carries the first caller's telemetry but stays alive while any
+// waiter's context is, so cancelling one deduped caller never spuriously
+// fails the others.
 func (s *Session) CampaignCtx(ctx context.Context, app apps.App, class string, procs, errors int, region faultsim.RegionMode) (*faultsim.Summary, error) {
 	ctx = s.telemetryCtx(ctx)
 	c := faultsim.Campaign{
 		App: app, Class: class, Procs: procs, Trials: s.cfg.Trials,
 		Errors: errors, Region: region, Seed: s.cfg.Seed,
 		Timeout: s.cfg.Timeout, Workers: s.cfg.Workers,
-		Budget: s.cfg.Budget,
+		Budget: s.cfg.Budget, Pool: s.pool,
 	}.Normalized()
 	// The singleflight key is the campaign's durable identity, so the
 	// in-process cache, checkpoints and Config.Cache all share one
 	// keyspace.
 	key := c.Identity()
-	s.mu.Lock()
-	call := s.camps[key]
-	if call == nil {
-		call = &campaignCall{}
-		s.camps[key] = call
-	}
-	s.mu.Unlock()
-	call.once.Do(func() { call.sum, call.err = s.runCampaign(ctx, key, c) })
-	if call.err != nil {
-		s.mu.Lock()
-		if s.camps[key] == call {
-			delete(s.camps, key)
-		}
-		s.mu.Unlock()
-		return call.sum, call.err
-	}
-	return call.sum, nil
+	return join(s, ctx, s.camps, key, func(runCtx context.Context) (*faultsim.Summary, error) {
+		return s.runCampaign(runCtx, key, c)
+	})
 }
 
 // runCampaign executes one deployment for Campaign's singleflight slot:
-// durable-cache probe first, then the real fault-injection run.
+// durable-cache probe first, then — holding one of the session's
+// campaign-parallel slots — the real fault-injection run.  Cache hits
+// bypass the slot entirely; only real executions occupy it.
 func (s *Session) runCampaign(ctx context.Context, key string, c faultsim.Campaign) (*faultsim.Summary, error) {
 	tel := telemetry.From(ctx)
 	if s.cfg.Cache != nil {
@@ -255,6 +320,12 @@ func (s *Session) runCampaign(ctx context.Context, key string, c faultsim.Campai
 			return sum, nil
 		}
 	}
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.slots }()
 	golden, err := s.GoldenCtx(ctx, c.App, c.Class, c.Procs)
 	if err != nil {
 		return nil, err

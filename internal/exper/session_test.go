@@ -1,9 +1,12 @@
 package exper
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"resmod/internal/apps"
 	"resmod/internal/faultsim"
@@ -155,6 +158,143 @@ func TestCampaignConcurrentSubmissions(t *testing.T) {
 	// 1 golden + 5 trials, shared by all 16 submissions.
 	if got := runs.Load(); got != 6 {
 		t.Fatalf("app executed %d times, want 6", got)
+	}
+}
+
+// gatedApp blocks its first execution (the golden run) until gate is
+// closed, signalling started, so tests can interleave callers with a
+// campaign that is reliably in flight.
+type gatedApp struct {
+	runs    *atomic.Int64
+	once    *sync.Once
+	started chan struct{}
+	gate    chan struct{}
+}
+
+func newGatedApp() gatedApp {
+	return gatedApp{
+		runs: &atomic.Int64{}, once: &sync.Once{},
+		started: make(chan struct{}), gate: make(chan struct{}),
+	}
+}
+
+func (gatedApp) Name() string               { return "session-gated-test" }
+func (gatedApp) Classes() []string          { return []string{"X"} }
+func (gatedApp) DefaultClass() string       { return "X" }
+func (gatedApp) MaxProcs(string) int        { return 8 }
+func (gatedApp) Verify(g, c []float64) bool { return apps.VerifyRel(g, c, 1e-12) }
+
+func (a gatedApp) Run(fc *fpe.Ctx, comm *simmpi.Comm, class string) (apps.RankOutput, error) {
+	a.runs.Add(1)
+	first := false
+	a.once.Do(func() { first = true })
+	if first {
+		close(a.started)
+		<-a.gate
+	}
+	s := 0.0
+	for i := 0; i < 200; i++ {
+		s = fc.Add(s, float64(i))
+	}
+	return apps.RankOutput{State: []float64{s}, Check: []float64{s}}, nil
+}
+
+// TestSingleflightSurvivesFirstCallerCancel is the satellite-2 regression:
+// the shared computation used to run under the first caller's context, so
+// cancelling that caller spuriously failed every deduped waiter.  Now the
+// flight must stay alive while any waiter remains.
+func TestSingleflightSurvivesFirstCallerCancel(t *testing.T) {
+	app := newGatedApp()
+	var executed atomic.Int64
+	s := NewSession(Config{Trials: 5, Seed: 1,
+		OnCampaign: func(string, *faultsim.Summary) { executed.Add(1) }})
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	errA := make(chan error, 1)
+	go func() {
+		_, err := s.CampaignCtx(ctxA, app, "", 1, 1, 0)
+		errA <- err
+	}()
+	<-app.started // A's flight is now executing the golden run
+
+	type res struct {
+		sum *faultsim.Summary
+		err error
+	}
+	resB := make(chan res, 1)
+	go func() {
+		sum, err := s.CampaignCtx(context.Background(), app, "", 1, 1, 0)
+		resB <- res{sum, err}
+	}()
+	// Wait until B has actually joined the flight (2 waiters) so the
+	// cancellation below reliably leaves a surviving waiter behind.
+	joined := false
+	for i := 0; i < 2000 && !joined; i++ {
+		s.mu.Lock()
+		for _, f := range s.camps {
+			joined = f.waiters >= 2
+		}
+		s.mu.Unlock()
+		if !joined {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !joined {
+		t.Fatal("second caller never joined the in-flight campaign")
+	}
+
+	cancelA()
+	if err := <-errA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled caller got %v, want context.Canceled", err)
+	}
+	select {
+	case r := <-resB:
+		t.Fatalf("waiter returned before the computation finished: %+v, %v", r.sum, r.err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(app.gate)
+	r := <-resB
+	if r.err != nil {
+		t.Fatalf("surviving waiter failed: %v", r.err)
+	}
+	if r.sum == nil || r.sum.TrialsDone != 5 {
+		t.Fatalf("surviving waiter got %+v", r.sum)
+	}
+	if executed.Load() != 1 {
+		t.Fatalf("campaign executed %d times, want 1", executed.Load())
+	}
+}
+
+// TestSingleflightAbandonedThenRetried: when every waiter cancels, the
+// shared computation is cancelled and the slot cleared, so a later caller
+// starts fresh and succeeds.
+func TestSingleflightAbandonedThenRetried(t *testing.T) {
+	app := newGatedApp()
+	s := NewSession(Config{Trials: 5, Seed: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.CampaignCtx(ctx, app, "", 1, 1, 0)
+		errc <- err
+	}()
+	<-app.started
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// Release the abandoned golden run; the cancelled flight drains.
+	close(app.gate)
+
+	// A fresh caller must get a clean, complete summary.
+	sum, err := s.Campaign(app, "", 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TrialsDone != 5 || sum.Interrupted {
+		t.Fatalf("retried campaign returned %+v", sum)
 	}
 }
 

@@ -1,0 +1,72 @@
+package faultsim
+
+import (
+	"context"
+	"runtime"
+)
+
+// WorkerBudget is a bounded pool of worker tokens shared by concurrently
+// executing campaigns.  Each in-flight trial holds one token, so when N
+// campaigns run at once their combined trial concurrency never exceeds
+// the budget — campaign-level parallelism composes with per-campaign
+// Workers without oversubscribing the machine.  A nil *WorkerBudget is
+// valid and grants every request immediately (the single-campaign path
+// pays nothing).
+//
+// Tokens are held only for the duration of one trial, never across
+// blocking campaign-level waits, so budget acquisition cannot deadlock:
+// every held token is always making progress toward release.
+type WorkerBudget struct {
+	tokens chan struct{}
+}
+
+// NewWorkerBudget creates a budget of n tokens; n <= 0 selects
+// GOMAXPROCS.
+func NewWorkerBudget(n int) *WorkerBudget {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &WorkerBudget{tokens: make(chan struct{}, n)}
+}
+
+// Size returns the token count (0 for a nil budget).
+func (b *WorkerBudget) Size() int {
+	if b == nil {
+		return 0
+	}
+	return cap(b.tokens)
+}
+
+// Acquire blocks until a token is free or ctx is done.  It returns
+// ctx.Err() on cancellation and nil once a token is held.  A nil budget
+// grants immediately (after honoring an already-cancelled ctx, so callers
+// observe cancellation uniformly).
+func (b *WorkerBudget) Acquire(ctx context.Context) error {
+	if b == nil {
+		return ctx.Err()
+	}
+	select {
+	case b.tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a token acquired with Acquire.  Releasing on a nil
+// budget is a no-op.
+func (b *WorkerBudget) Release() {
+	if b == nil {
+		return
+	}
+	<-b.tokens
+}
+
+// InUse returns the number of tokens currently held (0 for nil).  It is
+// inherently racy under concurrency and intended for telemetry and tests.
+func (b *WorkerBudget) InUse() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.tokens)
+}

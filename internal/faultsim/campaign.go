@@ -98,6 +98,13 @@ type Campaign struct {
 	Timeout time.Duration
 	// Workers is the trial-level concurrency (default GOMAXPROCS).
 	Workers int
+	// Pool, when non-nil, is a worker-token budget shared with other
+	// concurrently executing campaigns: each in-flight trial holds one
+	// token, so N concurrent campaigns with Workers each never run more
+	// than Pool.Size() trials at once.  Nil (the default) leaves trial
+	// concurrency bounded by Workers alone.  Like Workers, the pool does
+	// not affect trial outcomes and never enters the campaign identity.
+	Pool *WorkerBudget
 
 	// SpreadErrors distributes the Errors of a parallel test across that
 	// many *distinct* ranks (one error each) instead of injecting them all
@@ -432,8 +439,16 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 				if agg.isDone(t) {
 					continue // restored from the checkpoint
 				}
+				// Under a shared budget, hold one token per in-flight
+				// trial.  Tokens are released before any other blocking
+				// wait, so concurrent campaigns drain each other's
+				// backlog instead of deadlocking.
+				if err := c.Pool.Acquire(ctx); err != nil {
+					return
+				}
 				t0 := time.Now()
 				rec, err := runTrialResilient(ctx, c, golden, base, t, sink)
+				c.Pool.Release()
 				if err != nil {
 					if isInterruption(err) {
 						return
@@ -731,10 +746,12 @@ func drawFor(c Campaign, golden *Golden, rng *stats.RNG, rank, k int) ([]fpe.Inj
 	kc := golden.KindCounts[rank]
 	switch c.Region {
 	case AnyRegion:
-		if k == 1 {
-			return fpe.DrawAnyRegionWith(rng, kc, opts)
-		}
-		return fpe.DrawWith(rng, kc, fpe.Common, k, opts)
+		// All k errors draw over the full injectable stream (common and
+		// parallel-unique weighted by their dynamic op counts), matching
+		// the documented AnyRegion semantics; restricting the k>1 case to
+		// the common stream would make multi-error parallel deployments
+		// blind to the parallel-unique computation.
+		return fpe.DrawAnyRegionKWith(rng, kc, k, opts)
 	case CommonOnly:
 		return fpe.DrawWith(rng, kc, fpe.Common, k, opts)
 	case UniqueOnly:

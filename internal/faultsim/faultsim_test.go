@@ -8,6 +8,7 @@ import (
 	"resmod/internal/apps"
 	"resmod/internal/fpe"
 	"resmod/internal/simmpi"
+	"resmod/internal/stats"
 
 	_ "resmod/internal/apps/cg"
 	_ "resmod/internal/apps/lu"
@@ -220,6 +221,83 @@ func TestHangClassifiedAsFailure(t *testing.T) {
 	}
 	if s.Rates.Failure != 1 {
 		t.Fatalf("hang rates = %+v, want all failures", s.Rates)
+	}
+}
+
+// uniqueHeavyApp spends ~90% of its dynamic operations in a
+// parallel-unique region — the regression fixture for the drawFor
+// AnyRegion multi-error bug, where k>1 plans silently fell back to the
+// common stream and could never strike the unique computation.
+type uniqueHeavyApp struct{}
+
+func (uniqueHeavyApp) Name() string               { return "unique-heavy-test" }
+func (uniqueHeavyApp) Classes() []string          { return []string{"X"} }
+func (uniqueHeavyApp) DefaultClass() string       { return "X" }
+func (uniqueHeavyApp) MaxProcs(string) int        { return 8 }
+func (uniqueHeavyApp) Verify(g, c []float64) bool { return apps.VerifyRel(g, c, 1e-12) }
+
+func (uniqueHeavyApp) Run(fc *fpe.Ctx, comm *simmpi.Comm, class string) (apps.RankOutput, error) {
+	s := 0.0
+	for i := 0; i < 100; i++ {
+		s = fc.Add(s, float64(i))
+	}
+	if comm.Size() > 1 {
+		end := fc.Begin("unique-bulk", fpe.Unique)
+		for i := 0; i < 900; i++ {
+			s = fc.Add(s, 1.0/float64(i+1))
+		}
+		end()
+	}
+	return apps.RankOutput{State: []float64{s}, Check: []float64{s}}, nil
+}
+
+func TestAnyRegionMultiErrorCoversUniqueStream(t *testing.T) {
+	// Regression: drawFor used to route AnyRegion plans with Errors > 1
+	// through the CommonOnly drawer, so multi-error parallel deployments
+	// on an app dominated by parallel-unique computation never injected
+	// there.  The fixed drawer must hit the unique stream in roughly its
+	// dynamic-op weight (~0.9 here).
+	g, err := ComputeGolden(uniqueHeavyApp{}, "X", 2, apps.DefaultTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Campaign{App: uniqueHeavyApp{}, Procs: 2, Trials: 1, Errors: 3, Seed: 6}
+	c = c.Normalized()
+	rng := stats.NewRNG(99)
+	uniqueHits, draws := 0, 0
+	for i := 0; i < 500; i++ {
+		plan, err := drawFor(c, g, rng, i%2, c.Errors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan) != 3 {
+			t.Fatalf("plan length %d, want 3", len(plan))
+		}
+		for _, inj := range plan {
+			if inj.Class == fpe.Unique {
+				uniqueHits++
+			}
+			draws++
+		}
+	}
+	frac := float64(uniqueHits) / float64(draws)
+	if frac < 0.8 {
+		t.Fatalf("unique fraction %g, want ~0.9 (0 means the CommonOnly fallback is back)", frac)
+	}
+
+	// End-to-end: the same campaign shape must run, fire multiple errors
+	// per trial, and classify every trial.
+	sum, err := Run(Campaign{
+		App: uniqueHeavyApp{}, Procs: 2, Trials: 30, Errors: 3, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Rates.N != 30 {
+		t.Fatalf("N = %d, want 30", sum.Rates.N)
+	}
+	if sum.AvgFired < 2 {
+		t.Fatalf("AvgFired = %g, want ~3", sum.AvgFired)
 	}
 }
 

@@ -151,11 +151,27 @@ func DrawWith(rng *stats.RNG, kc KindCounts, class RegionClass, k int, opts Draw
 // common and unique streams, weighting each class by its (kind-filtered)
 // dynamic operation count — the paper's parallel fault injection tests.
 func DrawAnyRegionWith(rng *stats.RNG, kc KindCounts, opts DrawOpts) ([]Injection, error) {
+	return DrawAnyRegionKWith(rng, kc, 1, opts)
+}
+
+// DrawAnyRegionKWith draws k independent injections with distinct
+// operation indices uniformly over the union of the common and unique
+// streams, weighting each class by its (kind-filtered) dynamic operation
+// count.  It is the multi-error generalization of DrawAnyRegionWith:
+// each error independently lands in the common or the parallel-unique
+// computation in proportion to the dynamic op counts, so multi-error
+// parallel deployments sample the same flattened stream single-error
+// ones do.  For k=1 it consumes the identical RNG sequence as the
+// single-error draw, keeping existing campaign results stable.
+func DrawAnyRegionKWith(rng *stats.RNG, kc KindCounts, k int, opts DrawOpts) ([]Injection, error) {
 	nCommon := kc.Of(Common, opts.KindMask)
 	nUnique := kc.Of(Unique, opts.KindMask)
 	total := nCommon + nUnique
+	if k < 0 {
+		return nil, &PlanError{Class: Common, Want: k, Have: total, Reason: "negative error count"}
+	}
 	if total == 0 {
-		return nil, &PlanError{Class: Common, Want: 1, Have: 0, Reason: "empty operation stream"}
+		return nil, &PlanError{Class: Common, Want: k, Have: 0, Reason: "empty operation stream"}
 	}
 	// The window applies within each class stream proportionally.
 	loC, hiC, err := opts.windowRange(nCommon)
@@ -164,20 +180,30 @@ func DrawAnyRegionWith(rng *stats.RNG, kc KindCounts, opts DrawOpts) ([]Injectio
 	}
 	loU, hiU, _ := opts.windowRange(nUnique)
 	span := (hiC - loC) + (hiU - loU)
+	if uint64(k) > span {
+		return nil, &PlanError{Class: Common, Want: k, Have: span,
+			Reason: "stream window shorter than error count"}
+	}
 	if span == 0 {
-		return nil, &PlanError{Class: Common, Want: 1, Have: 0, Reason: "empty window"}
+		return nil, &PlanError{Class: Common, Want: k, Have: 0, Reason: "empty window"}
 	}
-	flat := rng.Uint64n(span)
-	bit, mask := opts.fault(rng)
-	inj := Injection{KindMask: opts.KindMask, Bit: bit, Mask: mask, Operand: rng.Intn(2)}
-	if flat < hiC-loC {
-		inj.Class = Common
-		inj.Index = loC + flat
-	} else {
-		inj.Class = Unique
-		inj.Index = loU + (flat - (hiC - loC))
+	// Distinct flat indices over [common window][unique window] map to
+	// distinct (class, index) injection sites.
+	idx := rng.SampleDistinct(k, span)
+	plan := make([]Injection, k)
+	for i, flat := range idx {
+		bit, mask := opts.fault(rng)
+		inj := Injection{KindMask: opts.KindMask, Bit: bit, Mask: mask, Operand: rng.Intn(2)}
+		if flat < hiC-loC {
+			inj.Class = Common
+			inj.Index = loC + flat
+		} else {
+			inj.Class = Unique
+			inj.Index = loU + (flat - (hiC - loC))
+		}
+		plan[i] = inj
 	}
-	return []Injection{inj}, nil
+	return plan, nil
 }
 
 // DrawPlan draws k single-bit injections over the whole class stream

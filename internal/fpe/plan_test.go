@@ -194,6 +194,96 @@ func TestDrawAnyRegionWithWindowAndKinds(t *testing.T) {
 	}
 }
 
+func TestDrawAnyRegionKMatchesSingleDraw(t *testing.T) {
+	// The k=1 path of the generalized draw must consume the identical RNG
+	// sequence as the historical single-error draw: cached campaign
+	// summaries and checkpoints depend on the draw stream staying stable.
+	var kc KindCounts
+	kc.ByClassKind[Common][OpAdd] = 700
+	kc.ByClassKind[Unique][OpAdd] = 300
+	for seed := uint64(0); seed < 50; seed++ {
+		a, err := DrawAnyRegionWith(stats.NewRNG(seed), kc, DrawOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := DrawAnyRegionKWith(stats.NewRNG(seed), kc, 1, DrawOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != 1 || a[0] != b[0] {
+			t.Fatalf("seed %d: single draw %+v != k=1 draw %+v", seed, a[0], b[0])
+		}
+	}
+}
+
+func TestDrawAnyRegionKSpansBothClasses(t *testing.T) {
+	// A unique-heavy stream: k=3 errors drawn over the union must strike
+	// the parallel-unique computation in roughly its weight, and indices
+	// must be distinct within each class stream.
+	rng := stats.NewRNG(7)
+	var kc KindCounts
+	kc.ByClassKind[Common][OpAdd] = 100
+	kc.ByClassKind[Unique][OpAdd] = 900
+	uniqueHits, draws := 0, 0
+	for i := 0; i < 1000; i++ {
+		plan, err := DrawAnyRegionKWith(rng, kc, 3, DrawOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan) != 3 {
+			t.Fatalf("got %d injections, want 3", len(plan))
+		}
+		seen := map[[2]uint64]bool{}
+		for _, inj := range plan {
+			key := [2]uint64{uint64(inj.Class), inj.Index}
+			if seen[key] {
+				t.Fatalf("duplicate injection site %+v in plan %+v", inj, plan)
+			}
+			seen[key] = true
+			switch inj.Class {
+			case Common:
+				if inj.Index >= 100 {
+					t.Fatalf("common index %d out of stream", inj.Index)
+				}
+			case Unique:
+				if inj.Index >= 900 {
+					t.Fatalf("unique index %d out of stream", inj.Index)
+				}
+				uniqueHits++
+			}
+			draws++
+		}
+	}
+	frac := float64(uniqueHits) / float64(draws)
+	if math.Abs(frac-0.9) > 0.03 {
+		t.Fatalf("unique fraction %g, want ~0.9", frac)
+	}
+}
+
+func TestDrawAnyRegionKValidation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	var kc KindCounts
+	kc.ByClassKind[Common][OpAdd] = 3
+	kc.ByClassKind[Unique][OpAdd] = 2
+	if _, err := DrawAnyRegionKWith(rng, kc, 6, DrawOpts{}); err == nil {
+		t.Fatal("k larger than the union stream accepted")
+	}
+	if _, err := DrawAnyRegionKWith(rng, kc, -1, DrawOpts{}); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if _, err := DrawAnyRegionKWith(rng, KindCounts{}, 1, DrawOpts{}); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// k equal to the whole union stream is legal and covers every site.
+	plan, err := DrawAnyRegionKWith(rng, kc, 5, DrawOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 5 {
+		t.Fatalf("got %d injections, want 5", len(plan))
+	}
+}
+
 // Property: every drawn plan, when executed against a long enough op
 // stream, fires exactly k times.
 func TestDrawnPlansAlwaysFire(t *testing.T) {

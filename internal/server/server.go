@@ -52,8 +52,15 @@ type Config struct {
 	// submissions are refused with 503 (default 64).
 	Queue int
 	// CampaignWorkers is the per-campaign trial concurrency handed to the
-	// session (default GOMAXPROCS).
+	// session (default GOMAXPROCS).  It also sizes the session's shared
+	// worker-token budget, so jobs saturating the campaign slots never
+	// oversubscribe the machine.
 	CampaignWorkers int
+	// CampaignParallel is how many campaigns one prediction job may
+	// execute concurrently (the session's deployment scheduler).
+	// Non-positive selects GOMAXPROCS; 1 restores sequential campaign
+	// execution per job.
+	CampaignParallel int
 	// Timeout is the per-trial hang budget (default apps.DefaultTimeout).
 	Timeout time.Duration
 	// Store, when non-nil, persists campaign summaries and prediction
@@ -125,7 +132,8 @@ func New(cfg Config) *Server {
 
 	sessCfg := exper.Config{
 		Trials: cfg.Trials, Seed: cfg.Seed, Workers: cfg.CampaignWorkers,
-		Timeout: cfg.Timeout, Ctx: telemetry.With(s.baseCtx, s.tel),
+		CampaignParallel: cfg.CampaignParallel,
+		Timeout:          cfg.Timeout, Ctx: telemetry.With(s.baseCtx, s.tel),
 		OnCampaign: func(identity string, sum *faultsim.Summary) {
 			s.metrics.campaigns.Add(1)
 		},
