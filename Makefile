@@ -30,15 +30,16 @@ cover:
 
 # Measure PredictAll wall time sequential-vs-concurrent over the six
 # paper benchmarks and record it (with a bit-identical-results check)
-# in BENCH_pr4.json.  The speedup tracks the core count; on one core
-# the two runs tie.  BENCH_TRIALS/BENCH_SMALL/BENCH_LARGE shrink the
-# workload for CI.
+# in BENCH_OUT.  The speedup tracks the core count; on one core the two
+# runs tie.  BENCH_TRIALS/BENCH_SMALL/BENCH_LARGE shrink the workload
+# for CI.
 BENCH_TRIALS ?= 100
 BENCH_SMALL  ?= 4
 BENCH_LARGE  ?= 16
+BENCH_OUT    ?= BENCH_pr5.json
 bench:
 	$(GO) run ./cmd/resmod bench -trials $(BENCH_TRIALS) \
-		-small $(BENCH_SMALL) -large $(BENCH_LARGE)
+		-small $(BENCH_SMALL) -large $(BENCH_LARGE) -out $(BENCH_OUT)
 
 # Go micro-benchmarks (testing.B), kept separate from the wall-clock
 # scheduler bench above.

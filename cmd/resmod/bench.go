@@ -14,12 +14,12 @@ import (
 	"resmod/internal/faultsim"
 )
 
-// benchOutFile is where the bench subcommand records its measurements;
-// CI uploads it as an artifact, giving the repo a perf trajectory across
-// PRs.
-const benchOutFile = "BENCH_pr4.json"
+// defaultBenchOut is the default -out path of the bench subcommand; CI
+// uploads the file as an artifact, giving the repo a perf trajectory
+// across PRs.
+const defaultBenchOut = "BENCH_pr5.json"
 
-// benchResult is the schema of BENCH_pr4.json.
+// benchResult is the schema of the bench output file.
 type benchResult struct {
 	Bench string `json:"bench"`
 	// GoMaxProcs is the core budget the run actually had; the concurrent
@@ -46,9 +46,13 @@ type benchResult struct {
 }
 
 // doBench measures PredictAll sequential-vs-concurrent wall time on a
-// fixed workload and writes BENCH_pr4.json.  The workload honors the
+// fixed workload and writes the -out JSON file.  The workload honors the
 // common flags (-trials, -seed, -apps, -small, -large, -workers).
 func doBench(ctx context.Context, o options, out, errw io.Writer) error {
+	outFile := o.benchOut
+	if outFile == "" {
+		outFile = defaultBenchOut
+	}
 	names := splitApps(o.apps)
 	if len(names) == 0 {
 		names = exper.PaperBenchmarks
@@ -137,11 +141,11 @@ func doBench(ctx context.Context, o options, out, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(benchOutFile, append(b, '\n'), 0o644); err != nil {
-		return fmt.Errorf("bench: writing %s: %w", benchOutFile, err)
+	if err := os.WriteFile(outFile, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", outFile, err)
 	}
 	fmt.Fprintf(out, "sequential: %v\nconcurrent: %v (campaign-parallel=%d, cores=%d)\nspeedup: %.2fx, bit-identical: %v\nwrote %s\n",
 		seqD.Round(time.Millisecond), conD.Round(time.Millisecond),
-		parallel, res.GoMaxProcs, res.Speedup, res.Identical, benchOutFile)
+		parallel, res.GoMaxProcs, res.Speedup, res.Identical, outFile)
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"resmod/internal/apps"
 	"resmod/internal/faultsim"
 	"resmod/internal/fpe"
+	"resmod/internal/stats"
 )
 
 // campaignOptions are the knobs of one custom deployment.
@@ -142,6 +143,7 @@ func doCampaign(ctx context.Context, args []string, out, errw io.Writer) error {
 	if o.json {
 		type result struct {
 			Rates        any
+			CI95         stats.RateIntervals
 			Hist         []uint64
 			UniqueFrac   float64
 			AvgFired     float64
@@ -154,7 +156,7 @@ func doCampaign(ctx context.Context, args []string, out, errw io.Writer) error {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(result{
-			Rates: sum.Rates, Hist: sum.Hist.Counts,
+			Rates: sum.Rates, CI95: sum.Rates.Intervals95(), Hist: sum.Hist.Counts,
 			UniqueFrac: sum.Golden.UniqueFraction(), AvgFired: sum.AvgFired,
 			Elapsed: sum.Elapsed, CommMessages: sum.Golden.Comm.Messages,
 			TrialsDone: sum.TrialsDone, Abnormal: sum.Abnormal,
@@ -176,8 +178,17 @@ func doCampaign(ctx context.Context, args []string, out, errw io.Writer) error {
 			sum.Abnormal)
 	}
 	fmt.Fprintf(out, "result: %s\n", sum.Rates)
-	lo, hi := sum.Rates.SuccessInterval()
-	fmt.Fprintf(out, "success 95%% CI: %.1f%% - %.1f%%\n", 100*lo, 100*hi)
+	iv := sum.Rates.Intervals95()
+	fmt.Fprintln(out, "convergence (Wilson 95% CI):")
+	for _, row := range []struct {
+		name string
+		iv   stats.Interval
+	}{
+		{"success", iv.Success}, {"sdc", iv.SDC}, {"failure", iv.Failure},
+	} {
+		fmt.Fprintf(out, "  %-8s %5.1f%% - %5.1f%%  (width %.2f pp)\n",
+			row.name, 100*row.iv.Lo, 100*row.iv.Hi, 100*row.iv.Width())
+	}
 	fmt.Fprintln(out, "propagation histogram (non-zero bins):")
 	probs := sum.Hist.Probabilities()
 	for x, p := range probs {

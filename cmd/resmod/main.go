@@ -81,6 +81,7 @@ type options struct {
 	large            int
 	json             bool
 	budget           time.Duration
+	benchOut         string
 }
 
 // emit renders v as JSON when -json is set and returns true.
@@ -125,6 +126,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs.IntVar(&o.large, "large", 64, "large-scale rank count for predict")
 	fs.BoolVar(&o.json, "json", false, "emit machine-readable JSON instead of tables")
 	fs.DurationVar(&o.budget, "budget", 0, "per-campaign wall-clock budget (0 = none)")
+	fs.StringVar(&o.benchOut, "out", defaultBenchOut, "bench: output JSON `file`")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -207,7 +209,8 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: resmod <experiment> [flags]
 experiments: apps table1 table2 fig1 fig2 fig3 fig5 fig6 fig7 fig8 overhead predict all report
 extras:      campaign ablate trace stability baselines modelablate scalesweep advise
-             bench (sequential-vs-concurrent PredictAll wall times -> BENCH_pr4.json)
+             bench (sequential-vs-concurrent PredictAll wall times -> -out FILE,
+             default BENCH_pr5.json)
              (use -app, -class, -small, -large)
 service:     serve -listen HOST:PORT -store DIR -workers N -queue N -drain D
              -pprof-addr HOST:PORT (optional net/http/pprof listener)

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"resmod/internal/telemetry"
+)
+
+// Renderer cadence: TTY frames redraw at most this often; non-TTY plain
+// lines are emitted at most this often per key.
+const (
+	ttyRedrawEvery  = 100 * time.Millisecond
+	plainLineEvery  = 2 * time.Second
+	progressKeyMax  = 44 // rendered key width before truncation
+	progressBarCols = 20
+)
+
+// isTTY reports whether w is an interactive terminal (a character
+// device), which selects in-place redrawing over plain log lines.
+func isTTY(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return st.Mode()&os.ModeCharDevice != 0
+}
+
+// progressRenderer consumes one invocation's Progress bus and renders it
+// to stderr: an in-place multi-line block (per-campaign bars, throughput,
+// ETA, CI width) on a TTY, rate-limited plain lines otherwise.  It is a
+// pure observer on a bounded drop-oldest subscription, so rendering can
+// never slow the campaigns down.
+type progressRenderer struct {
+	w    io.Writer
+	tty  bool
+	sub  *telemetry.ProgressSub
+	done chan struct{}
+	quit chan struct{}
+
+	mu        sync.Mutex                         // guards everything below and writes to w
+	state     map[string]telemetry.ProgressEvent // latest event per kind+key
+	order     []string                           // first-seen order of keys
+	drawn     int                                // lines in the current TTY frame
+	lastDraw  time.Time
+	lastPlain map[string]time.Time
+}
+
+// startProgressRenderer subscribes to the bus and starts the render
+// loop.  Call stop to drain and finish the final frame.
+func startProgressRenderer(w io.Writer, p *telemetry.Progress) *progressRenderer {
+	r := &progressRenderer{
+		w: w, tty: isTTY(w), sub: p.Subscribe(256),
+		done: make(chan struct{}), quit: make(chan struct{}),
+		state:     make(map[string]telemetry.ProgressEvent),
+		lastPlain: make(map[string]time.Time),
+	}
+	go r.loop()
+	return r
+}
+
+// stop ends the render loop after draining buffered events, drawing one
+// final frame so terminal states are visible.
+func (r *progressRenderer) stop() {
+	if r == nil {
+		return
+	}
+	close(r.quit)
+	<-r.done
+	r.sub.Close()
+}
+
+func (r *progressRenderer) loop() {
+	defer close(r.done)
+	for {
+		select {
+		case ev := <-r.sub.Events():
+			r.observe(ev)
+		case <-r.quit:
+			for {
+				select {
+				case ev := <-r.sub.Events():
+					r.observe(ev)
+					continue
+				default:
+				}
+				break
+			}
+			r.mu.Lock()
+			if r.tty && len(r.order) > 0 {
+				r.redraw()
+			}
+			r.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Write makes the renderer a sink for the invocation's log output: on a
+// TTY it erases the in-place progress block before the log line lands,
+// so interleaved slog events never shear the frame (and the next redraw
+// repaints the block below them).  Off-TTY it only serializes the two
+// stderr writers.
+func (r *progressRenderer) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tty && r.drawn > 0 {
+		fmt.Fprintf(r.w, "\x1b[%dA\x1b[0J", r.drawn)
+		r.drawn = 0
+	}
+	return r.w.Write(p)
+}
+
+// observe folds one event into the state and renders it.
+func (r *progressRenderer) observe(ev telemetry.ProgressEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := ev.Kind + "\x00" + ev.Key
+	if _, seen := r.state[k]; !seen {
+		r.order = append(r.order, k)
+	}
+	r.state[k] = ev
+	if r.tty {
+		if ev.Terminal() || time.Since(r.lastDraw) >= ttyRedrawEvery {
+			r.redraw()
+		}
+		return
+	}
+	// Non-TTY: rate-limited plain lines for running snapshots only —
+	// terminal states are already covered by the structured campaign/job
+	// log events, so a log file doesn't get them twice.
+	if ev.Terminal() {
+		return
+	}
+	if last, ok := r.lastPlain[k]; ok && time.Since(last) < plainLineEvery {
+		return
+	}
+	r.lastPlain[k] = time.Now()
+	fmt.Fprintf(r.w, "progress: %s\n", renderLine(ev))
+}
+
+// redraw repaints the whole in-place block: cursor up over the previous
+// frame, then one cleared line per tracked key.  Callers hold r.mu.
+func (r *progressRenderer) redraw() {
+	r.lastDraw = time.Now()
+	var b strings.Builder
+	if r.drawn > 0 {
+		fmt.Fprintf(&b, "\x1b[%dA", r.drawn)
+	}
+	for _, k := range r.order {
+		b.WriteString("\x1b[2K")
+		b.WriteString(renderLine(r.state[k]))
+		b.WriteByte('\n')
+	}
+	r.drawn = len(r.order)
+	fmt.Fprint(r.w, b.String())
+}
+
+// renderLine formats one event as a single display line.
+func renderLine(ev telemetry.ProgressEvent) string {
+	key := ev.Key
+	if len(key) > progressKeyMax {
+		key = key[:progressKeyMax-1] + "…"
+	}
+	if ev.Kind == telemetry.KindPrediction {
+		return fmt.Sprintf("%-*s stages %d/%d  campaigns %d running/%d queued  budget %d/%d  [%s]",
+			progressKeyMax, key, ev.Done, ev.Total,
+			ev.CampaignsRunning, ev.CampaignsQueued,
+			ev.WorkerBudgetInUse, ev.WorkerBudgetSize, ev.State)
+	}
+	line := fmt.Sprintf("%-*s [%s] %5.1f%% %d/%d",
+		progressKeyMax, key, bar(ev.Ratio()), 100*ev.Ratio(), ev.Done, ev.Total)
+	if ev.TrialsPerSec > 0 {
+		line += fmt.Sprintf("  %.0f trials/s", ev.TrialsPerSec)
+	}
+	if ev.ETASeconds > 0 && !ev.Terminal() {
+		line += fmt.Sprintf("  ETA %s", (time.Duration(ev.ETASeconds * float64(time.Second))).Round(time.Second))
+	}
+	if ev.SuccessCI != nil {
+		line += fmt.Sprintf("  CI ±%.3f", ev.SuccessCI.Width()/2)
+	}
+	if ev.Terminal() {
+		line += "  [" + ev.State + "]"
+	}
+	return line
+}
+
+// bar renders a fixed-width ASCII progress bar.
+func bar(ratio float64) string {
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	fill := int(ratio*progressBarCols + 0.5)
+	return strings.Repeat("#", fill) + strings.Repeat("-", progressBarCols-fill)
+}

@@ -27,30 +27,43 @@ func (t *telFlags) register(fs *flag.FlagSet) {
 }
 
 // runTelemetry is one CLI invocation's live telemetry: the bundle its
-// context carries, plus the recorder and tracer finish renders.
+// context carries, plus the recorder, tracer and progress renderer that
+// finish winds down.
 type runTelemetry struct {
 	flags  telFlags
 	tel    *telemetry.Telemetry
 	tracer *telemetry.Tracer
 	rec    *telemetry.Recorder
+	render *progressRenderer
 }
 
 // setup builds the invocation's telemetry from the parsed flags: events
 // to errw at the selected level, a tracer only when -trace asked for
-// one, and a metrics recorder for the end-of-run summary.
+// one, a metrics recorder for the end-of-run summary, and — unless
+// -quiet silenced everything below warnings — a live-progress renderer
+// (in-place bars on a TTY, rate-limited plain lines otherwise).  With a
+// renderer active, log events are routed through it so a log line first
+// erases the in-place block instead of shearing it.
 func (t telFlags) setup(errw io.Writer) *runTelemetry {
 	var tr *telemetry.Tracer
 	if t.trace != "" {
 		tr = telemetry.NewTracer()
 	}
 	rec := telemetry.NewRecorder()
-	logger := telemetry.NewLogger(errw, telemetry.Level(t.quiet, t.verbose))
-	return &runTelemetry{
-		flags:  t,
-		tel:    telemetry.New(logger, tr, rec),
-		tracer: tr,
-		rec:    rec,
+	rt := &runTelemetry{flags: t, tracer: tr, rec: rec}
+	logw := errw
+	var prog *telemetry.Progress
+	if !t.quiet {
+		prog = telemetry.NewProgress()
+		rt.render = startProgressRenderer(errw, prog)
+		logw = rt.render
 	}
+	logger := telemetry.NewLogger(logw, telemetry.Level(t.quiet, t.verbose))
+	rt.tel = telemetry.New(logger, tr, rec)
+	if prog != nil {
+		rt.tel = rt.tel.WithProgress(prog)
+	}
+	return rt
 }
 
 // context attaches the bundle and opens the root span; end the returned
@@ -60,11 +73,12 @@ func (r *runTelemetry) context(ctx context.Context, name string) (context.Contex
 	return r.tel.Tracer().Start(ctx, name)
 }
 
-// finish writes the -trace file (when requested) and renders the
-// telemetry summary block to errw.  Call it after the root span ended;
-// it returns the first error that would lose data (a trace that could
-// not be written).
+// finish stops the progress renderer, writes the -trace file (when
+// requested) and renders the telemetry summary block to errw.  Call it
+// after the root span ended; it returns the first error that would lose
+// data (a trace that could not be written).
 func (r *runTelemetry) finish(errw io.Writer) error {
+	r.render.stop()
 	if r.flags.trace != "" {
 		f, err := os.Create(r.flags.trace)
 		if err != nil {

@@ -2,11 +2,13 @@ package exper
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"sync"
 	"testing"
 
 	"resmod/internal/faultsim"
+	"resmod/internal/telemetry"
 )
 
 // recordCampaigns wires an OnCampaign hook that serializes every executed
@@ -63,10 +65,19 @@ func TestPredictAllDeterministicAcrossCampaignParallel(t *testing.T) {
 	)
 	run := func(parallel int) ([]PredictionRow, map[string][]byte) {
 		recs, hook := recordCampaigns(t)
+		// Progress publishing is observation-only: run both passes with a
+		// live bus and a deliberately unread minimum-size subscriber, so
+		// snapshots flow (and overflow into the drop-oldest path) while
+		// results must stay byte-identical.
+		prog := telemetry.NewProgress()
+		sub := prog.Subscribe(1)
+		defer sub.Close()
 		s := NewSession(Config{
 			Trials: trials, Seed: seed,
 			CampaignParallel: parallel, Workers: 2,
 			OnCampaign: hook,
+			Ctx: telemetry.With(context.Background(),
+				telemetry.Nop().WithProgress(prog)),
 		})
 		rows, err := PredictAll(s, nil, small, large)
 		if err != nil {

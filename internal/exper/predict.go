@@ -65,10 +65,24 @@ func gatherModelInputsTimed(ctx context.Context, s *Session, a apps.App, class s
 		unique      stats.Rates
 		measured    stats.Rates
 	)
+	// Prediction-kind progress: one event per completed DAG stage, each
+	// sampling the session scheduler.  Inert when the context carries no
+	// Progress bus.
+	pp := newPredictionProgress(telemetry.From(ctx).Progress(), s,
+		fmt.Sprintf("%s/%s s%d p%d", a.Name(), class, small, large), len(xs)+3)
+	stage := func(fn func(ctx context.Context) error) func(ctx context.Context) error {
+		return func(ctx context.Context) error {
+			if err := fn(ctx); err != nil {
+				return err
+			}
+			pp.stageDone()
+			return nil
+		}
+	}
 	g := newGroup(ctx)
 	for i, x := range xs {
 		i, x := i, x
-		g.Go(func(ctx context.Context) error {
+		g.Go(stage(func(ctx context.Context) error {
 			sum, err := s.CampaignCtx(ctx, a, class, 1, x, faultsim.CommonOnly)
 			if err != nil {
 				return err
@@ -76,9 +90,9 @@ func gatherModelInputsTimed(ctx context.Context, s *Session, a apps.App, class s
 			rates[i] = sum.Rates
 			serialTimes[i] = sum.Elapsed
 			return nil
-		})
+		}))
 	}
-	g.Go(func(ctx context.Context) error {
+	g.Go(stage(func(ctx context.Context) error {
 		// Small-scale deployment: propagation profile, conditional rates.
 		sum, err := s.CampaignCtx(ctx, a, class, small, 1, faultsim.AnyRegion)
 		if err != nil {
@@ -86,8 +100,8 @@ func gatherModelInputsTimed(ctx context.Context, s *Session, a apps.App, class s
 		}
 		smallSum = sum
 		return nil
-	})
-	g.Go(func(ctx context.Context) error {
+	}))
+	g.Go(stage(func(ctx context.Context) error {
 		// Parallel-unique weight from the large-scale golden run (one
 		// clean run — cheap; the expensive part the model avoids is the
 		// large-scale deployment's thousands of injected runs), then the
@@ -105,8 +119,8 @@ func gatherModelInputsTimed(ctx context.Context, s *Session, a apps.App, class s
 			unique = uc.Rates
 		}
 		return nil
-	})
-	g.Go(func(ctx context.Context) error {
+	}))
+	g.Go(stage(func(ctx context.Context) error {
 		// Ground truth: the measured large-scale deployment.
 		sum, err := s.CampaignCtx(ctx, a, class, large, 1, faultsim.AnyRegion)
 		if err != nil {
@@ -114,10 +128,12 @@ func gatherModelInputsTimed(ctx context.Context, s *Session, a apps.App, class s
 		}
 		measured = sum.Rates
 		return nil
-	})
+	}))
 	if err := g.Wait(); err != nil {
+		pp.finish(err)
 		return nil, 0, 0, stats.Rates{}, err
 	}
+	pp.finish(nil)
 
 	curve, err := core.NewSerialCurve(large, xs, rates)
 	if err != nil {

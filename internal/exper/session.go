@@ -14,6 +14,7 @@ import (
 	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resmod/internal/apps"
@@ -116,6 +117,8 @@ type Session struct {
 	tel   *telemetry.Telemetry
 	slots chan struct{}
 	pool  *faultsim.WorkerBudget
+	// waiting counts campaigns blocked on a slot, for SchedulerStats.
+	waiting atomic.Int64
 
 	mu      sync.Mutex
 	goldens map[string]*flight[*faultsim.Golden]
@@ -320,9 +323,12 @@ func (s *Session) runCampaign(ctx context.Context, key string, c faultsim.Campai
 			return sum, nil
 		}
 	}
+	s.waiting.Add(1)
 	select {
 	case s.slots <- struct{}{}:
+		s.waiting.Add(-1)
 	case <-ctx.Done():
+		s.waiting.Add(-1)
 		return nil, ctx.Err()
 	}
 	defer func() { <-s.slots }()

@@ -171,6 +171,16 @@ type Campaign struct {
 	// uninterrupted one.  A missing checkpoint file starts fresh.
 	Resume bool
 
+	// ProgressEvery is the live-progress snapshot period in recorded
+	// trials: when the campaign's context carries a telemetry.Progress
+	// bus, a snapshot (tallies, trials/sec, ETA, Wilson CI widths) is
+	// published every that many trials.  Zero selects roughly
+	// DefaultProgressDivisor snapshots over the campaign's lifetime.
+	// Snapshots are observations only — they never affect outcomes or
+	// RNG streams — so, like Workers, the field never enters the
+	// campaign identity.
+	ProgressEvery int
+
 	// hooks holds test seams; nil in production use.  A pointer keeps
 	// Campaign comparable.
 	hooks *campaignHooks
@@ -375,6 +385,12 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 		tel.Logger().Debug("campaign resumed from checkpoint",
 			"campaign", identity, "path", c.Checkpoint, "done", agg.doneCount())
 	}
+	// Live progress: an opening snapshot (a resumed campaign announces
+	// its restored trial count), periodic snapshots from the trial loop,
+	// and a terminal snapshot on every summary-producing exit.  nil when
+	// the context carries no Progress bus.
+	prog := newCampaignProgress(tel.Progress(), c, identity, agg.doneCount())
+	prog.publish(agg, telemetry.StateRunning)
 	// writeCheckpoint snapshots the tallies, tracing and counting each
 	// write (the final write's error is the caller's to handle).
 	writeCheckpoint := func() error {
@@ -447,7 +463,7 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 					return
 				}
 				t0 := time.Now()
-				rec, err := runTrialResilient(ctx, c, golden, base, t, sink)
+				rec, err := runTrialResilient(ctx, c, golden, base, t, sink, agg)
 				c.Pool.Release()
 				if err != nil {
 					if isInterruption(err) {
@@ -460,7 +476,7 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 					}
 					continue
 				}
-				agg.record(t, rec)
+				prog.trialRecorded(agg.record(t, rec), agg)
 				sink.TrialDone(rec.Outcome.String(), time.Since(t0))
 				done++
 			}
@@ -476,6 +492,7 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 		}
 	}
 	if err := agg.fatalError(c.MaxAbnormal); err != nil {
+		prog.publish(agg, telemetry.StateFailed)
 		return nil, err
 	}
 
@@ -484,6 +501,7 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 	if sum.TrialsDone+sum.Abnormal < uint64(c.Trials) && ctx.Err() != nil {
 		sum.Interrupted = true
 	}
+	prog.finish(agg, sum.Interrupted)
 	sink.CampaignDone(sum.Elapsed)
 	span.SetAttr(telemetry.Attr{Key: "trials_done", Value: sum.TrialsDone},
 		telemetry.Attr{Key: "interrupted", Value: sum.Interrupted})
@@ -522,10 +540,10 @@ func isInterruption(err error) bool {
 
 // runTrialResilient runs one trial with harness-fault containment: panics
 // escaping the harness are recovered, and abnormal trials are retried with
-// bounded exponential backoff (each retry counted into the sink).  Retries
-// replay the identical trial — the RNG stream is re-split from the base
-// per attempt.
-func runTrialResilient(ctx context.Context, c Campaign, golden *Golden, base *stats.RNG, t int, sink telemetry.Sink) (TrialRecord, error) {
+// bounded exponential backoff (each retry counted into the sink and the
+// aggregate's live-snapshot tally).  Retries replay the identical trial —
+// the RNG stream is re-split from the base per attempt.
+func runTrialResilient(ctx context.Context, c Campaign, golden *Golden, base *stats.RNG, t int, sink telemetry.Sink, agg *aggregate) (TrialRecord, error) {
 	backoff := retryBackoffBase
 	var rec TrialRecord
 	var err error
@@ -539,6 +557,7 @@ func runTrialResilient(ctx context.Context, c Campaign, golden *Golden, base *st
 				t, attempt+1, err)
 		}
 		sink.TrialRetried()
+		agg.noteRetried()
 		select {
 		case <-ctx.Done():
 			return rec, fmt.Errorf("%w: %w", simmpi.ErrCanceled, ctx.Err())
@@ -580,6 +599,7 @@ type aggregate struct {
 	byCont    map[int]*stats.Counter
 	spread    []uint64
 	fired     uint64
+	retried   uint64 // abnormal-trial retries, for live snapshots
 	abnormal  []trialError
 	hook      func(done uint64)
 }
@@ -617,12 +637,13 @@ func (a *aggregate) isDone(t int) bool {
 	return a.done[t/64]&(1<<(t%64)) != 0
 }
 
-// record tallies one completed trial.
-func (a *aggregate) record(t int, rec TrialRecord) {
+// record tallies one completed trial and returns the completed-trial
+// count after it — the progress publisher's cadence input.
+func (a *aggregate) record(t int, rec TrialRecord) uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.done[t/64]&(1<<(t%64)) != 0 {
-		return
+		return a.completed
 	}
 	a.done[t/64] |= 1 << (t % 64)
 	a.completed++
@@ -656,6 +677,7 @@ func (a *aggregate) record(t int, rec TrialRecord) {
 	if a.hook != nil {
 		a.hook(a.completed)
 	}
+	return a.completed
 }
 
 // recordAbnormal records an abandoned trial and returns the new abnormal

@@ -1,0 +1,148 @@
+package faultsim
+
+import (
+	"time"
+
+	"resmod/internal/stats"
+	"resmod/internal/telemetry"
+)
+
+// DefaultProgressDivisor sets the default snapshot cadence: a campaign
+// publishes roughly this many live-progress snapshots over its lifetime
+// (Campaign.ProgressEvery overrides; minimum one trial between
+// snapshots).
+const DefaultProgressDivisor = 100
+
+// progressEvery resolves the snapshot period in trials.
+func progressEvery(c Campaign) uint64 {
+	if c.ProgressEvery > 0 {
+		return uint64(c.ProgressEvery)
+	}
+	every := c.Trials / DefaultProgressDivisor
+	if every < 1 {
+		every = 1
+	}
+	return uint64(every)
+}
+
+// campaignProgress publishes one campaign's live snapshots.  It is
+// observation-only: it reads the aggregate's tallies and never touches
+// RNG streams, trial scheduling, or the campaign identity, so results
+// stay bit-identical whether or not anyone is listening.
+type campaignProgress struct {
+	prog     *telemetry.Progress
+	identity string
+	trials   int
+	every    uint64
+	start    time.Time
+	// startDone is the trial count restored from a checkpoint before this
+	// run began: throughput and ETA cover only trials executed *this*
+	// run, so a 90%-restored campaign doesn't report a fantasy rate.
+	startDone uint64
+}
+
+// newCampaignProgress builds a publisher, or nil when the bus is off —
+// the hot path then pays a single nil check per recorded trial.
+func newCampaignProgress(prog *telemetry.Progress, c Campaign, identity string, startDone uint64) *campaignProgress {
+	if prog == nil {
+		return nil
+	}
+	return &campaignProgress{
+		prog:      prog,
+		identity:  identity,
+		trials:    c.Trials,
+		every:     progressEvery(c),
+		start:     time.Now(),
+		startDone: startDone,
+	}
+}
+
+// trialRecorded publishes a snapshot every `every` recorded trials.
+func (p *campaignProgress) trialRecorded(done uint64, agg *aggregate) {
+	if p == nil || done%p.every != 0 {
+		return
+	}
+	p.publish(agg, telemetry.StateRunning)
+}
+
+// publish posts one snapshot in the given state.
+func (p *campaignProgress) publish(agg *aggregate, state string) {
+	if p == nil {
+		return
+	}
+	pc := agg.progressCounts()
+	ev := telemetry.ProgressEvent{
+		Kind:     telemetry.KindCampaign,
+		Key:      p.identity,
+		State:    state,
+		Done:     pc.done,
+		Total:    uint64(p.trials),
+		Success:  pc.success,
+		SDC:      pc.sdc,
+		Failure:  pc.failure,
+		Abnormal: pc.abnormal,
+		Retried:  pc.retried,
+	}
+	elapsed := time.Since(p.start).Seconds()
+	ev.ElapsedSeconds = elapsed
+	if ran := pc.done - p.startDone; elapsed > 0 && ran > 0 && pc.done >= p.startDone {
+		ev.TrialsPerSec = float64(ran) / elapsed
+		if remaining := uint64(p.trials) - pc.done; pc.done <= uint64(p.trials) {
+			ev.ETASeconds = float64(remaining) / ev.TrialsPerSec
+		}
+	}
+	if n := pc.success + pc.sdc + pc.failure; n > 0 {
+		counter := stats.Counter{Success: pc.success, SDC: pc.sdc, Failure: pc.failure}
+		iv := counter.Rates().Intervals95()
+		ev.SuccessCI = &telemetry.CI{Lo: iv.Success.Lo, Hi: iv.Success.Hi}
+		ev.SDCCI = &telemetry.CI{Lo: iv.SDC.Lo, Hi: iv.SDC.Hi}
+		ev.FailureCI = &telemetry.CI{Lo: iv.Failure.Lo, Hi: iv.Failure.Hi}
+	}
+	p.prog.Publish(ev)
+}
+
+// finish publishes the terminal snapshot for a campaign that produced a
+// summary (clean or interrupted).
+func (p *campaignProgress) finish(agg *aggregate, interrupted bool) {
+	if p == nil {
+		return
+	}
+	state := telemetry.StateDone
+	if interrupted {
+		state = telemetry.StateInterrupted
+	}
+	p.publish(agg, state)
+}
+
+// progressCounts is a point-in-time copy of the aggregate's tallies for
+// snapshot building.
+type progressCounts struct {
+	done     uint64
+	success  uint64
+	sdc      uint64
+	failure  uint64
+	abnormal uint64
+	retried  uint64
+}
+
+// progressCounts snapshots the tallies under the aggregate lock.
+func (a *aggregate) progressCounts() progressCounts {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return progressCounts{
+		done:     a.completed,
+		success:  a.counter.Success,
+		sdc:      a.counter.SDC,
+		failure:  a.counter.Failure,
+		abnormal: uint64(len(a.abnormal)),
+		retried:  a.retried,
+	}
+}
+
+// noteRetried counts one abnormal-trial retry for live snapshots (the
+// Sink counts the same event process-wide).
+func (a *aggregate) noteRetried() {
+	a.mu.Lock()
+	a.retried++
+	a.mu.Unlock()
+}

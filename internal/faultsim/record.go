@@ -43,6 +43,11 @@ type SummaryRecord struct {
 	// ElapsedNS is the campaign wall time in nanoseconds (kept so cached
 	// summaries still report the paper's "fault injection time" axis).
 	ElapsedNS int64
+	// CI95 holds the Wilson 95% intervals of the three outcome rates —
+	// the campaign's convergence report.  The field is additive (older
+	// records decode with a zero value) and derived: Restore recomputes
+	// rates from the raw tallies and never reads it.
+	CI95 stats.RateIntervals
 }
 
 // Record captures the Summary as a SummaryRecord keyed by identity.
@@ -64,6 +69,7 @@ func (s *Summary) Record(identity string) *SummaryRecord {
 		Abnormal:        s.Abnormal,
 		AvgFired:        s.AvgFired,
 		ElapsedNS:       int64(s.Elapsed),
+		CI95:            s.Rates.Intervals95(),
 	}
 	if s.Hist != nil {
 		rec.Hist = append([]uint64(nil), s.Hist.Counts...)

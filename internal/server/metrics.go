@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"resmod/internal/exper"
 	"resmod/internal/store"
 	"resmod/internal/telemetry"
 )
@@ -109,8 +110,11 @@ func (m *metrics) request(method, route string, code int) {
 // queueDepth is sampled by the caller; storeStats is nil when the server
 // runs without a store; engine is the process-wide engine-telemetry
 // snapshot (trial outcomes, golden runs, checkpoint writes, duration
-// histograms).
-func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats, engine telemetry.Snapshot) {
+// histograms); sched samples the campaign scheduler and progress is the
+// server-wide bus's latest snapshot per key (campaign-kind entries
+// become per-campaign gauge series).
+func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats, engine telemetry.Snapshot,
+	sched exper.SchedulerStats, progress []telemetry.ProgressEvent) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -197,6 +201,38 @@ func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats, en
 		float64(m.inflight.Load()))
 	gauge("resmod_uptime_seconds", "Seconds since the server started.",
 		time.Since(m.start).Seconds())
+	gauge("resmod_worker_budget_in_use",
+		"Trial-worker tokens currently held by in-flight trials.",
+		float64(sched.WorkerBudgetInUse))
+	gauge("resmod_worker_budget_size",
+		"Trial-worker token pool capacity shared by all campaigns.",
+		float64(sched.WorkerBudgetSize))
+	gauge("resmod_campaigns_running",
+		"Campaigns currently holding an execution slot.",
+		float64(sched.CampaignsRunning))
+	gauge("resmod_campaigns_queued",
+		"Campaigns blocked waiting for an execution slot.",
+		float64(sched.CampaignsQueued))
+
+	// Per-campaign live-progress gauges from the server-wide bus.  HELP
+	// and TYPE lines are emitted even with no tracked campaigns, so the
+	// families are always discoverable.
+	fmt.Fprintf(w, "# HELP resmod_campaign_progress_ratio Completed fraction of each tracked campaign.\n")
+	fmt.Fprintf(w, "# TYPE resmod_campaign_progress_ratio gauge\n")
+	for _, ev := range progress {
+		if ev.Kind != telemetry.KindCampaign {
+			continue
+		}
+		fmt.Fprintf(w, "resmod_campaign_progress_ratio{campaign=%q} %g\n", ev.Key, ev.Ratio())
+	}
+	fmt.Fprintf(w, "# HELP resmod_trials_per_second Trial throughput of each tracked campaign (this run).\n")
+	fmt.Fprintf(w, "# TYPE resmod_trials_per_second gauge\n")
+	for _, ev := range progress {
+		if ev.Kind != telemetry.KindCampaign {
+			continue
+		}
+		fmt.Fprintf(w, "resmod_trials_per_second{campaign=%q} %g\n", ev.Key, ev.TrialsPerSec)
+	}
 
 	if storeStats != nil {
 		counter("resmod_store_hits_total", "Result-store lookups that found an entry.",

@@ -83,6 +83,17 @@ type job struct {
 	key   string
 	req   PredictionRequest
 	reqID string
+	// progress is the job-scoped live-progress bus (nil for store-served
+	// jobs, which never compute).  It exists from submission — SSE clients
+	// can subscribe while the job is still queued — and forwards every
+	// event to the server-wide bus.  Under the session singleflight a
+	// shared campaign's events land on the bus of the job that actually
+	// ran it, like trace spans.
+	progress *telemetry.Progress
+	// done is closed exactly once when the job reaches a terminal status,
+	// so event streams learn of completion without polling.
+	done       chan struct{}
+	finishOnce sync.Once
 
 	mu        sync.Mutex
 	status    string
@@ -92,6 +103,14 @@ type job struct {
 	submitted time.Time
 	elapsed   time.Duration
 	tracer    *telemetry.Tracer // per-job spans, set when the job starts
+}
+
+// closedChan returns an already-closed channel, for jobs born terminal
+// (store-served submissions).
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
 }
 
 // view snapshots the job for JSON rendering.
@@ -126,6 +145,7 @@ func (j *job) complete(row *exper.PredictionRow, elapsed time.Duration) {
 	j.row = row
 	j.elapsed = elapsed
 	j.mu.Unlock()
+	j.finish()
 }
 
 func (j *job) fail(status string, err error, elapsed time.Duration) {
@@ -134,6 +154,17 @@ func (j *job) fail(status string, err error, elapsed time.Duration) {
 	j.err = err.Error()
 	j.elapsed = elapsed
 	j.mu.Unlock()
+	j.finish()
+}
+
+// finish marks the terminal transition for event streams (idempotent —
+// a drain-canceled job may be failed twice).
+func (j *job) finish() {
+	j.finishOnce.Do(func() {
+		if j.done != nil {
+			close(j.done)
+		}
+	})
 }
 
 // worker is one scheduler goroutine: it drains the queue until the server
@@ -172,7 +203,7 @@ func (s *Server) runJob(j *job) {
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 
-	ctx := telemetry.With(s.baseCtx, s.tel.WithTracer(tr))
+	ctx := telemetry.With(s.baseCtx, s.tel.WithTracer(tr).WithProgress(j.progress))
 	ctx, span := tr.Start(ctx, "job",
 		telemetry.String("id", j.id), telemetry.String("app", j.req.App),
 		telemetry.String("request_id", j.reqID))

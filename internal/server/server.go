@@ -11,7 +11,9 @@
 //	POST /v1/predictions              submit {"app","class","small","large"}
 //	GET  /v1/predictions/{id}         poll a job
 //	GET  /v1/predictions/{id}/trace   the job's Chrome trace-event JSON
+//	GET  /v1/predictions/{id}/events  live progress (Server-Sent Events)
 //	GET  /v1/predictions              list known jobs
+//	GET  /v1/status                   aggregate scheduler/progress snapshot
 //	GET  /v1/apps                     registered benchmarks
 //	GET  /healthz                     liveness + queue snapshot
 //	GET  /metrics                     Prometheus text exposition
@@ -63,6 +65,9 @@ type Config struct {
 	CampaignParallel int
 	// Timeout is the per-trial hang budget (default apps.DefaultTimeout).
 	Timeout time.Duration
+	// HeartbeatEvery is the SSE keep-alive comment period on
+	// /v1/predictions/{id}/events (default 15s); tests shrink it.
+	HeartbeatEvery time.Duration
 	// Store, when non-nil, persists campaign summaries and prediction
 	// rows so identical work is computed once ever.
 	Store *store.Store
@@ -87,6 +92,9 @@ func (c Config) withDefaults() Config {
 	if c.Queue <= 0 {
 		c.Queue = 64
 	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 15 * time.Second
+	}
 	return c
 }
 
@@ -97,6 +105,7 @@ type Server struct {
 	metrics  *metrics
 	recorder *telemetry.Recorder
 	tel      *telemetry.Telemetry
+	progress *telemetry.Progress // server-wide bus; every job bus forwards here
 	mux      *http.ServeMux
 
 	baseCtx   context.Context
@@ -129,6 +138,7 @@ func New(cfg Config) *Server {
 	}
 	s.recorder = telemetry.NewRecorder()
 	s.tel = telemetry.New(logger, nil, s.recorder)
+	s.progress = telemetry.NewProgress()
 
 	sessCfg := exper.Config{
 		Trials: cfg.Trials, Seed: cfg.Seed, Workers: cfg.CampaignWorkers,
@@ -147,7 +157,9 @@ func New(cfg Config) *Server {
 	mux.Handle("POST /v1/predictions", s.instrument("/v1/predictions", s.handleSubmit))
 	mux.Handle("GET /v1/predictions/{id}", s.instrument("/v1/predictions/{id}", s.handleGet))
 	mux.Handle("GET /v1/predictions/{id}/trace", s.instrument("/v1/predictions/{id}/trace", s.handleTrace))
+	mux.Handle("GET /v1/predictions/{id}/events", s.instrument("/v1/predictions/{id}/events", s.handleEvents))
 	mux.Handle("GET /v1/predictions", s.instrument("/v1/predictions", s.handleList))
+	mux.Handle("GET /v1/status", s.instrument("/v1/status", s.handleStatus))
 	mux.Handle("GET /v1/apps", s.instrument("/v1/apps", s.handleApps))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -262,6 +274,14 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the wrapped writer so streaming handlers (the SSE
+// events endpoint) work through the instrumentation wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a handler with request-ID plumbing, per-route request
 // counting, and one access-log event per request.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
@@ -362,7 +382,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if row, ok := s.getPrediction(key); ok {
 		j := &job{id: id, key: key, req: req, reqID: r.Header.Get(requestIDHeader),
-			status: StatusDone, cached: true, row: row, submitted: time.Now()}
+			status: StatusDone, cached: true, row: row, submitted: time.Now(),
+			done: closedChan()}
 		s.jobs[id] = j
 		s.metrics.cacheHits.Add(1)
 		writeJSON(w, http.StatusOK, j.view())
@@ -376,8 +397,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	default:
 	}
+	// The job bus exists from submission (SSE clients can subscribe while
+	// the job is still queued) and forwards every event to the server-wide
+	// bus, which backs /metrics and /v1/status.
+	prog := telemetry.NewProgress()
+	prog.ForwardTo(s.progress)
 	j := &job{id: id, key: key, req: req, reqID: r.Header.Get(requestIDHeader),
-		status: StatusQueued, submitted: time.Now()}
+		status: StatusQueued, submitted: time.Now(),
+		progress: prog, done: make(chan struct{})}
 	select {
 	case s.queue <- j:
 		s.jobs[id] = j
@@ -493,7 +520,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.cfg.Store.Stats()
 		storeStats = &st
 	}
-	s.metrics.write(w, len(s.queue), storeStats, s.recorder.Snapshot())
+	s.metrics.write(w, len(s.queue), storeStats, s.recorder.Snapshot(),
+		s.session.SchedulerStats(), s.progress.Latest())
 }
 
 // ---- prediction store ------------------------------------------------------

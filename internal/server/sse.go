@@ -1,0 +1,161 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"resmod/internal/telemetry"
+)
+
+// handleEvents is GET /v1/predictions/{id}/events: the job's live
+// progress as a Server-Sent Events stream.
+//
+// Each snapshot arrives as `event: progress` with a
+// telemetry.ProgressEvent JSON body; the stream ends with one
+// `event: done` carrying the job's final API view, after which the
+// server closes the connection.  A client connecting mid-job first
+// receives the latest snapshot of every campaign/prediction the job has
+// touched (bus replay), so it starts from current state; a client
+// connecting after completion receives the replay and the terminal event
+// immediately.  Comment-line heartbeats (Config.HeartbeatEvery) keep
+// idle proxies from timing the stream out.  Disconnecting never cancels
+// or fails the job — the subscription is read-only and drops its oldest
+// buffered events if the client stalls.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no prediction %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// Subscribe before checking for completion so no event can fall
+	// between the replay and the live stream.  A store-served job has no
+	// bus; its nil subscription yields a nil channel (never ready) and the
+	// already-closed done channel ends the stream at once.
+	sub := j.progress.Subscribe(256)
+	defer sub.Close()
+
+	emit := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	heartbeat := time.NewTicker(s.cfg.HeartbeatEvery)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case ev := <-sub.Events():
+			if !emit("progress", ev) {
+				return
+			}
+		case <-j.done:
+			// Terminal: flush whatever snapshots are still buffered, then
+			// close the stream with the job's final view.
+			for {
+				select {
+				case ev := <-sub.Events():
+					if !emit("progress", ev) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			emit("done", j.view())
+			return
+		}
+	}
+}
+
+// statusView is the GET /v1/status document.
+type statusView struct {
+	Status        string         `json:"status"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Workers       int            `json:"workers"`
+	QueueDepth    int            `json:"queue_depth"`
+	QueueCapacity int            `json:"queue_capacity"`
+	Jobs          map[string]int `json:"jobs"`
+	JobsTotal     int            `json:"jobs_total"`
+	// Scheduler samples the shared campaign scheduler: campaigns
+	// running/queued against the slot capacity, and the trial-worker
+	// budget's occupancy.
+	Scheduler schedulerView `json:"scheduler"`
+	// CampaignsTracked is the number of campaigns with a live progress
+	// snapshot on the server-wide bus (running or finished).
+	CampaignsTracked int `json:"campaigns_tracked"`
+}
+
+// schedulerView mirrors exper.SchedulerStats for the API.
+type schedulerView struct {
+	CampaignsRunning  int `json:"campaigns_running"`
+	CampaignsQueued   int `json:"campaigns_queued"`
+	CampaignSlots     int `json:"campaign_slots"`
+	WorkerBudgetInUse int `json:"worker_budget_in_use"`
+	WorkerBudgetSize  int `json:"worker_budget_size"`
+}
+
+// handleStatus is GET /v1/status: one aggregate JSON snapshot of the
+// whole service — queue depth, per-state job counts, campaign-scheduler
+// and worker-budget occupancy.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	counts := map[string]int{}
+	s.mu.Lock()
+	total := len(s.jobs)
+	for _, j := range s.jobs {
+		counts[j.view().Status]++
+	}
+	s.mu.Unlock()
+	st := s.session.SchedulerStats()
+	tracked := 0
+	for _, ev := range s.progress.Latest() {
+		if ev.Kind == telemetry.KindCampaign {
+			tracked++
+		}
+	}
+	writeJSON(w, http.StatusOK, statusView{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.Queue,
+		Jobs:          counts,
+		JobsTotal:     total,
+		Scheduler: schedulerView{
+			CampaignsRunning:  st.CampaignsRunning,
+			CampaignsQueued:   st.CampaignsQueued,
+			CampaignSlots:     st.CampaignSlots,
+			WorkerBudgetInUse: st.WorkerBudgetInUse,
+			WorkerBudgetSize:  st.WorkerBudgetSize,
+		},
+		CampaignsTracked: tracked,
+	})
+}

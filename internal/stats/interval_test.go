@@ -59,6 +59,54 @@ func TestSuccessInterval(t *testing.T) {
 	}
 }
 
+func TestIntervals95AllOutcomes(t *testing.T) {
+	c := Counter{Success: 60, SDC: 30, Failure: 10}
+	r := c.Rates()
+	iv := r.Intervals95()
+	for _, tc := range []struct {
+		name string
+		rate float64
+		iv   Interval
+	}{
+		{"success", r.Success, iv.Success},
+		{"sdc", r.SDC, iv.SDC},
+		{"failure", r.Failure, iv.Failure},
+	} {
+		if !(0 <= tc.iv.Lo && tc.iv.Lo < tc.rate && tc.rate < tc.iv.Hi && tc.iv.Hi <= 1) {
+			t.Errorf("%s: interval [%g, %g] does not bracket rate %g",
+				tc.name, tc.iv.Lo, tc.iv.Hi, tc.rate)
+		}
+		if w := tc.iv.Width(); math.Abs(w-(tc.iv.Hi-tc.iv.Lo)) > 1e-15 {
+			t.Errorf("%s: Width() = %g, want %g", tc.name, w, tc.iv.Hi-tc.iv.Lo)
+		}
+	}
+	// The per-outcome accessors agree with the bundle.
+	if lo, hi := r.SDCInterval(); lo != iv.SDC.Lo || hi != iv.SDC.Hi {
+		t.Errorf("SDCInterval = [%g, %g], want [%g, %g]", lo, hi, iv.SDC.Lo, iv.SDC.Hi)
+	}
+	if lo, hi := r.FailureInterval(); lo != iv.Failure.Lo || hi != iv.Failure.Hi {
+		t.Errorf("FailureInterval = [%g, %g], want [%g, %g]", lo, hi, iv.Failure.Lo, iv.Failure.Hi)
+	}
+	if lo, hi := r.SuccessInterval(); lo != iv.Success.Lo || hi != iv.Success.Hi {
+		t.Errorf("SuccessInterval = [%g, %g], want [%g, %g]", lo, hi, iv.Success.Lo, iv.Success.Hi)
+	}
+}
+
+func TestIntervals95MatchesWilsonOnRawTallies(t *testing.T) {
+	// interval95 reconstructs the tally from the normalized rate; for
+	// exact tallies the round-trip must land on the same Wilson bounds.
+	c := Counter{Success: 123, SDC: 45, Failure: 232}
+	iv := c.Rates().Intervals95()
+	lo, hi := WilsonInterval(123, 400, 1.96)
+	if math.Abs(iv.Success.Lo-lo) > 1e-12 || math.Abs(iv.Success.Hi-hi) > 1e-12 {
+		t.Fatalf("success interval [%g, %g], want [%g, %g]", iv.Success.Lo, iv.Success.Hi, lo, hi)
+	}
+	lo, hi = WilsonInterval(232, 400, 1.96)
+	if math.Abs(iv.Failure.Lo-lo) > 1e-12 || math.Abs(iv.Failure.Hi-hi) > 1e-12 {
+		t.Fatalf("failure interval [%g, %g], want [%g, %g]", iv.Failure.Lo, iv.Failure.Hi, lo, hi)
+	}
+}
+
 func TestStableAfter(t *testing.T) {
 	// A constant success sequence is stable.
 	stable := make([]bool, 2000)

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func campaignEvent(key string, done, total uint64) ProgressEvent {
+	return ProgressEvent{Kind: KindCampaign, Key: key, State: StateRunning,
+		Done: done, Total: total}
+}
+
+func TestProgressNilSafety(t *testing.T) {
+	var p *Progress
+	p.Publish(campaignEvent("c", 1, 2)) // must not panic
+	if sub := p.Subscribe(8); sub != nil {
+		t.Fatal("nil bus returned a non-nil subscription")
+	}
+	if evs := p.Latest(); evs != nil {
+		t.Fatalf("nil bus Latest = %v", evs)
+	}
+	p.ForwardTo(NewProgress()) // must not panic
+
+	var sub *ProgressSub
+	if sub.Events() != nil {
+		t.Fatal("nil subscription has a non-nil channel")
+	}
+	if sub.Dropped() != 0 {
+		t.Fatal("nil subscription reports drops")
+	}
+	sub.Close() // must not panic
+}
+
+func TestProgressPublishSubscribe(t *testing.T) {
+	p := NewProgress()
+	sub := p.Subscribe(8)
+	defer sub.Close()
+	p.Publish(campaignEvent("a", 1, 10))
+	p.Publish(campaignEvent("a", 2, 10))
+	ev1 := <-sub.Events()
+	ev2 := <-sub.Events()
+	if ev1.Done != 1 || ev2.Done != 2 {
+		t.Fatalf("events out of order: %+v then %+v", ev1, ev2)
+	}
+	if ev1.Seq >= ev2.Seq {
+		t.Fatalf("sequence numbers not monotone: %d then %d", ev1.Seq, ev2.Seq)
+	}
+}
+
+func TestProgressReplayOnSubscribe(t *testing.T) {
+	p := NewProgress()
+	p.Publish(campaignEvent("a", 5, 10))
+	p.Publish(campaignEvent("b", 1, 10))
+	p.Publish(campaignEvent("a", 7, 10)) // supersedes the first "a"
+
+	sub := p.Subscribe(8)
+	defer sub.Close()
+	// Replay: the latest snapshot of each key, in publication order.
+	ev1 := <-sub.Events()
+	ev2 := <-sub.Events()
+	if ev1.Key != "b" || ev1.Done != 1 {
+		t.Fatalf("first replayed event = %+v, want b@1", ev1)
+	}
+	if ev2.Key != "a" || ev2.Done != 7 {
+		t.Fatalf("second replayed event = %+v, want a@7", ev2)
+	}
+	select {
+	case ev := <-sub.Events():
+		t.Fatalf("unexpected extra replay event %+v", ev)
+	default:
+	}
+}
+
+func TestProgressLatest(t *testing.T) {
+	p := NewProgress()
+	p.Publish(campaignEvent("a", 1, 10))
+	p.Publish(ProgressEvent{Kind: KindPrediction, Key: "a", State: StateRunning})
+	p.Publish(campaignEvent("a", 3, 10))
+	evs := p.Latest()
+	if len(evs) != 2 {
+		t.Fatalf("Latest returned %d events, want 2 (campaign and prediction kinds keyed separately)", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Kind == KindCampaign && ev.Done != 3 {
+			t.Fatalf("campaign snapshot = %+v, want latest (done=3)", ev)
+		}
+	}
+}
+
+func TestProgressDropOldestNeverBlocks(t *testing.T) {
+	p := NewProgress()
+	sub := p.Subscribe(16) // minimum buffer is 16
+	defer sub.Close()
+	// Publish far more than the buffer without reading: must not block.
+	for i := uint64(1); i <= 200; i++ {
+		p.Publish(campaignEvent("a", i, 200))
+	}
+	if sub.Dropped() == 0 {
+		t.Fatal("expected drops on an unread full subscription")
+	}
+	// The retained tail ends at the newest event.
+	var last ProgressEvent
+	for {
+		select {
+		case last = <-sub.Events():
+			continue
+		default:
+		}
+		break
+	}
+	if last.Done != 200 {
+		t.Fatalf("newest retained event done=%d, want 200 (drop-oldest)", last.Done)
+	}
+}
+
+func TestProgressForwardTo(t *testing.T) {
+	parent := NewProgress()
+	child := NewProgress()
+	child.ForwardTo(parent)
+	psub := parent.Subscribe(8)
+	defer psub.Close()
+	child.Publish(campaignEvent("a", 1, 2))
+	ev := <-psub.Events()
+	if ev.Key != "a" || ev.Done != 1 {
+		t.Fatalf("forwarded event = %+v", ev)
+	}
+	if len(parent.Latest()) != 1 {
+		t.Fatal("parent bus did not record the forwarded snapshot")
+	}
+}
+
+func TestProgressConcurrentPublishers(t *testing.T) {
+	p := NewProgress()
+	sub := p.Subscribe(16) // small: force the drop path under contention
+	defer sub.Close()
+	var drain sync.WaitGroup
+	stop := make(chan struct{})
+	drain.Add(1)
+	go func() {
+		defer drain.Done()
+		for {
+			select {
+			case <-sub.Events():
+			case <-stop:
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(0); i < 200; i++ {
+				p.Publish(campaignEvent("k", i, 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	drain.Wait()
+	if got := len(p.Latest()); got != 1 {
+		t.Fatalf("Latest tracked %d keys, want 1", got)
+	}
+}
+
+func TestProgressEventHelpers(t *testing.T) {
+	ev := campaignEvent("a", 25, 100)
+	if ev.Ratio() != 0.25 {
+		t.Fatalf("Ratio = %g", ev.Ratio())
+	}
+	if (ProgressEvent{}).Ratio() != 0 {
+		t.Fatal("zero-total ratio must be 0")
+	}
+	if ev.Terminal() {
+		t.Fatal("running event reported terminal")
+	}
+	for _, st := range []string{StateDone, StateInterrupted, StateFailed} {
+		ev.State = st
+		if !ev.Terminal() {
+			t.Fatalf("state %q not terminal", st)
+		}
+	}
+	ci := CI{Lo: 0.4, Hi: 0.6}
+	if w := ci.Width(); w < 0.199 || w > 0.201 {
+		t.Fatalf("CI width = %g", w)
+	}
+}
+
+func TestTelemetryWithProgress(t *testing.T) {
+	var nilTel *Telemetry
+	if nilTel.Progress() != nil {
+		t.Fatal("nil bundle returned a bus")
+	}
+	p := NewProgress()
+	tel := New(nil, nil, nil).WithProgress(p)
+	if tel.Progress() != p {
+		t.Fatal("WithProgress did not carry the bus")
+	}
+	// WithTracer keeps the bus; WithProgress keeps the tracer.
+	tr := NewTracer()
+	tel2 := tel.WithTracer(tr)
+	if tel2.Progress() != p || tel2.Tracer() != tr {
+		t.Fatal("WithTracer dropped the progress bus")
+	}
+}

@@ -20,9 +20,10 @@ import (
 // the accessors never return a value whose methods are unsafe to call, so
 // instrumentation sites need no nil checks.
 type Telemetry struct {
-	logger *slog.Logger
-	tracer *Tracer // nil = tracing off (*Tracer methods are nil-safe)
-	sink   Sink
+	logger   *slog.Logger
+	tracer   *Tracer // nil = tracing off (*Tracer methods are nil-safe)
+	sink     Sink
+	progress *Progress // nil = live progress off (*Progress methods are nil-safe)
 }
 
 // New assembles a bundle.  Any argument may be nil: a nil logger discards
@@ -70,11 +71,28 @@ func (t *Telemetry) Sink() Sink {
 	return t.sink
 }
 
+// Progress returns the live-progress bus; it may be nil, but every
+// *Progress method is nil-safe, so call sites use it unconditionally.
+func (t *Telemetry) Progress() *Progress {
+	if t == nil {
+		return nil
+	}
+	return t.progress
+}
+
 // WithTracer returns a copy of the bundle recording spans into tr while
-// sharing the logger and sink — how the prediction service gives every
-// job its own trace without forking the metric registry.
+// sharing the logger, sink and progress bus — how the prediction service
+// gives every job its own trace without forking the metric registry.
 func (t *Telemetry) WithTracer(tr *Tracer) *Telemetry {
-	return &Telemetry{logger: t.Logger(), tracer: tr, sink: t.Sink()}
+	return &Telemetry{logger: t.Logger(), tracer: tr, sink: t.Sink(), progress: t.Progress()}
+}
+
+// WithProgress returns a copy of the bundle publishing live progress
+// onto p while sharing the logger, tracer and sink — the progress twin
+// of WithTracer (the service scopes a bus per job; the CLI attaches one
+// per invocation).
+func (t *Telemetry) WithProgress(p *Progress) *Telemetry {
+	return &Telemetry{logger: t.Logger(), tracer: t.Tracer(), sink: t.Sink(), progress: p}
 }
 
 // ctxKey keys the bundle in a context.

@@ -4,8 +4,11 @@
 # store, and checks the identical POST is answered from disk (flagged
 # cached, reported in /metrics) — with a clean SIGTERM drain both times.
 # Along the way it asserts the engine-telemetry metric families
-# (resmod_trial_total by outcome, duration histograms) reach /metrics
-# and that the outcome-labeled sum matches resmod_campaign_trials_total.
+# (resmod_trial_total by outcome, duration histograms) reach /metrics,
+# that the outcome-labeled sum matches resmod_campaign_trials_total, that
+# /v1/status reports the aggregate service state, and that a live job's
+# SSE stream (/v1/predictions/{id}/events) delivers progress snapshots
+# and a terminal done event.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -85,6 +88,42 @@ trials_total=$(echo "$metrics" | awk '/^resmod_campaign_trials_total / {print $2
 [ "$outcome_sum" = "$trials_total" ] ||
     fail "outcome sum $outcome_sum != resmod_campaign_trials_total $trials_total"
 [ "$trials_total" -gt 0 ] || fail "cold run executed no trials"
+
+# Live-progress metric families (PR 5): worker-budget occupancy gauges
+# plus the per-campaign progress ratio and trial-rate series retained by
+# the server-wide progress bus.
+echo "$metrics" | grep -q '^resmod_worker_budget_in_use ' ||
+    fail "resmod_worker_budget_in_use missing from /metrics"
+echo "$metrics" | grep -q '^resmod_campaign_progress_ratio{campaign=' ||
+    fail "resmod_campaign_progress_ratio series missing from /metrics"
+echo "$metrics" | grep -q '^# TYPE resmod_trials_per_second gauge' ||
+    fail "resmod_trials_per_second family missing from /metrics"
+
+# Live progress over SSE: submit a second prediction and stream its
+# events while it runs — the stream must carry at least one progress
+# snapshot and end with the terminal done event (the server closes the
+# connection after it, so curl exits on its own).
+id2=$(curl -fsS -X POST "http://$addr/v1/predictions" \
+    -d '{"app":"CG","small":4,"large":8}' |
+    sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p') || true
+[ -n "$id2" ] || fail "second submit returned no job id"
+curl -sN --max-time 120 "http://$addr/v1/predictions/$id2/events" \
+    >"$workdir/sse.out" || fail "SSE stream did not end cleanly"
+grep -q '^event: progress$' "$workdir/sse.out" ||
+    fail "no progress event on the SSE stream"
+grep -q '^event: done$' "$workdir/sse.out" ||
+    fail "no terminal done event on the SSE stream"
+
+# Aggregate service state: /v1/status reports both finished jobs and the
+# campaigns tracked on the progress bus.
+status_doc=$(curl -fsS "http://$addr/v1/status")
+echo "$status_doc" | grep -q '"status": "ok"' || fail "/v1/status not ok"
+echo "$status_doc" | grep -q '"jobs_total": 2' ||
+    fail "/v1/status jobs_total != 2: $status_doc"
+echo "$status_doc" | grep -q '"done": 2' ||
+    fail "/v1/status does not report 2 done jobs: $status_doc"
+echo "$status_doc" | grep -Eq '"campaigns_tracked": [1-9]' ||
+    fail "/v1/status tracked no campaigns: $status_doc"
 shutdown
 
 # --- warm run: a fresh process over the same store answers from disk -----
@@ -100,4 +139,4 @@ echo "$metrics" | grep -q '^resmod_campaign_trials_total 0$' ||
     fail "warm server re-ran campaign trials"
 shutdown
 
-echo "smoke: OK (cold compute, warm store hit across restart, clean drains)"
+echo "smoke: OK (cold compute, live SSE progress, status + metrics, warm store hit across restart, clean drains)"
