@@ -36,7 +36,8 @@ cover:
 BENCH_TRIALS ?= 100
 BENCH_SMALL  ?= 4
 BENCH_LARGE  ?= 16
-BENCH_OUT    ?= BENCH_pr5.json
+BENCH_PR     ?= 6
+BENCH_OUT    ?= BENCH_pr$(BENCH_PR).json
 bench:
 	$(GO) run ./cmd/resmod bench -trials $(BENCH_TRIALS) \
 		-small $(BENCH_SMALL) -large $(BENCH_LARGE) -out $(BENCH_OUT)

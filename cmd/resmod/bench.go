@@ -14,11 +14,6 @@ import (
 	"resmod/internal/faultsim"
 )
 
-// defaultBenchOut is the default -out path of the bench subcommand; CI
-// uploads the file as an artifact, giving the repo a perf trajectory
-// across PRs.
-const defaultBenchOut = "BENCH_pr5.json"
-
 // benchResult is the schema of the bench output file.
 type benchResult struct {
 	Bench string `json:"bench"`
@@ -49,9 +44,12 @@ type benchResult struct {
 // fixed workload and writes the -out JSON file.  The workload honors the
 // common flags (-trials, -seed, -apps, -small, -large, -workers).
 func doBench(ctx context.Context, o options, out, errw io.Writer) error {
+	// The output path must be explicit: a hard-coded default silently
+	// froze the artifact name at the PR that introduced it, so later runs
+	// overwrote the wrong file (CI then uploaded a stale path).
 	outFile := o.benchOut
 	if outFile == "" {
-		outFile = defaultBenchOut
+		return fmt.Errorf("bench: -out is required (e.g. -out BENCH_pr6.json; make bench derives it from BENCH_PR)")
 	}
 	names := splitApps(o.apps)
 	if len(names) == 0 {

@@ -1,0 +1,601 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resmod/internal/server"
+	"resmod/internal/telemetry"
+)
+
+// loadgen replays a weighted endpoint mix against a running resmod serve
+// instance and reports what the service did under pressure: latency
+// quantiles, throughput, shed rate, and per-tenant fairness.  It is the
+// client half of the traffic-hardening contract — it honors Retry-After,
+// reuses Idempotency-Keys across retries, and treats any 5xx other than
+// a drain 503 as a server bug.
+
+// latencyBuckets covers the service's response-time range, in seconds:
+// cache hits answer in well under a millisecond, cold campaigns in
+// seconds.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+type loadgenOptions struct {
+	target     string
+	clients    int
+	duration   time.Duration
+	mix        string
+	keys       string
+	priorities string
+	retries    int
+	backoff    time.Duration
+	maxBackoff time.Duration
+	seed       uint64
+	out        string
+	jsonOut    bool
+	failOn5xx  bool
+}
+
+func (o loadgenOptions) validate() error {
+	if o.target == "" {
+		return fmt.Errorf("-target is required (e.g. http://127.0.0.1:8080)")
+	}
+	if !strings.HasPrefix(o.target, "http://") && !strings.HasPrefix(o.target, "https://") {
+		return fmt.Errorf("-target %q must be an http:// or https:// URL", o.target)
+	}
+	if o.clients <= 0 {
+		return fmt.Errorf("-clients must be positive, got %d", o.clients)
+	}
+	if o.duration <= 0 {
+		return fmt.Errorf("-duration must be positive, got %v", o.duration)
+	}
+	if o.retries < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d", o.retries)
+	}
+	if o.backoff <= 0 {
+		return fmt.Errorf("-backoff must be positive, got %v", o.backoff)
+	}
+	if o.maxBackoff < o.backoff {
+		return fmt.Errorf("-max-backoff %v must be >= -backoff %v", o.maxBackoff, o.backoff)
+	}
+	return nil
+}
+
+// weighted is one entry of a "name=weight,name=weight" mix flag.
+type weighted struct {
+	name   string
+	weight int
+}
+
+// parseMix parses "predict=60,get=30,status=10" into weighted entries,
+// validating names against allowed (nil = any name).
+func parseMix(flagName, s string, allowed []string) ([]weighted, error) {
+	var out []weighted
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, found := strings.Cut(part, "=")
+		weight := 1
+		if found {
+			n, err := strconv.Atoi(strings.TrimSpace(w))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%s: bad weight in %q", flagName, part)
+			}
+			weight = n
+		}
+		name = strings.TrimSpace(name)
+		if allowed != nil {
+			ok := false
+			for _, a := range allowed {
+				if name == a {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return nil, fmt.Errorf("%s: unknown entry %q (want one of %s)",
+					flagName, name, strings.Join(allowed, ", "))
+			}
+		}
+		out = append(out, weighted{name: name, weight: weight})
+		total += weight
+	}
+	if len(out) == 0 || total == 0 {
+		return nil, fmt.Errorf("%s: %q selects nothing", flagName, s)
+	}
+	return out, nil
+}
+
+// pick draws one name from the mix using the client's rng.
+func pick(mix []weighted, rng *rand.Rand) string {
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	n := rng.Intn(total)
+	for _, m := range mix {
+		if n < m.weight {
+			return m.name
+		}
+		n -= m.weight
+	}
+	return mix[len(mix)-1].name
+}
+
+// predictBodies are the cheap, always-registered configurations the
+// generator cycles through.  Repeats are intentional: they exercise the
+// server's content-addressed dedup and duplicate-join paths.
+var predictBodies = []map[string]any{
+	{"app": "PENNANT", "small": 2, "large": 4},
+	{"app": "PENNANT", "small": 4, "large": 8},
+	{"app": "CG", "small": 2, "large": 8},
+}
+
+// loadCounts is one tenant's (or the global) outcome tally.
+type loadCounts struct {
+	requests atomic.Uint64
+	admitted atomic.Uint64 // 2xx on POST /v1/predictions
+	ok       atomic.Uint64 // any 2xx
+	shed     atomic.Uint64 // 429
+	drain    atomic.Uint64 // 503 with Retry-After (the drain contract)
+	bad5xx   atomic.Uint64 // any other 5xx: a server bug under load
+	client4x atomic.Uint64
+	netErr   atomic.Uint64
+	retries  atomic.Uint64
+	replays  atomic.Uint64 // Idempotency-Replay: true responses
+}
+
+// loadState is the shared harness state across client goroutines.
+type loadState struct {
+	opts     loadgenOptions
+	mix      []weighted
+	prios    []weighted
+	keys     []string
+	client   *http.Client
+	total    loadCounts
+	perKey   map[string]*loadCounts
+	lat      *telemetry.Histogram
+	idemSeq  atomic.Uint64
+	jobMu    sync.Mutex
+	jobIDs   []string
+	started  time.Time
+	finished time.Duration
+}
+
+// rememberJob keeps a bounded pool of admitted job ids for the get mix.
+func (ls *loadState) rememberJob(id string) {
+	ls.jobMu.Lock()
+	if len(ls.jobIDs) < 1024 {
+		ls.jobIDs = append(ls.jobIDs, id)
+	} else {
+		ls.jobIDs[int(ls.idemSeq.Load())%len(ls.jobIDs)] = id
+	}
+	ls.jobMu.Unlock()
+}
+
+func (ls *loadState) randomJob(rng *rand.Rand) string {
+	ls.jobMu.Lock()
+	defer ls.jobMu.Unlock()
+	if len(ls.jobIDs) == 0 {
+		return ""
+	}
+	return ls.jobIDs[rng.Intn(len(ls.jobIDs))]
+}
+
+// tenantFor maps a client index to its API key ("anon" = no key).
+func (ls *loadState) tenantFor(i int) string {
+	return ls.keys[i%len(ls.keys)]
+}
+
+// doLoadgen runs the load generator until -duration elapses or ctx is
+// canceled, then renders the report (human to out, JSON to -out / -json).
+func doLoadgen(ctx context.Context, args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var o loadgenOptions
+	fs.StringVar(&o.target, "target", "", "base `URL` of the resmod serve instance (required)")
+	fs.IntVar(&o.clients, "clients", 8, "concurrent client goroutines")
+	fs.DurationVar(&o.duration, "duration", 10*time.Second, "how long to generate load")
+	fs.StringVar(&o.mix, "mix", "predict=60,get=25,status=10,metrics=5",
+		"weighted endpoint mix (predict, get, status, metrics)")
+	fs.StringVar(&o.keys, "keys", "anon",
+		"comma-separated API keys to spread clients across (\"anon\" = no key)")
+	fs.StringVar(&o.priorities, "priorities", "normal=80,high=10,low=10",
+		"weighted priority mix for predict requests")
+	fs.IntVar(&o.retries, "retries", 3, "max retries per shed (429/503) request")
+	fs.DurationVar(&o.backoff, "backoff", 200*time.Millisecond,
+		"base backoff when a shed response carries no usable Retry-After")
+	fs.DurationVar(&o.maxBackoff, "max-backoff", 5*time.Second,
+		"cap applied to honored Retry-After waits")
+	fs.Uint64Var(&o.seed, "seed", 2018, "rng seed for mix/priority draws")
+	fs.StringVar(&o.out, "out", "", "write the JSON report to `file`")
+	fs.BoolVar(&o.jsonOut, "json", false, "print the JSON report instead of the human summary")
+	fs.BoolVar(&o.failOn5xx, "fail-on-5xx", false,
+		"exit non-zero if any 5xx other than a drain 503 was observed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("loadgen: unexpected arguments %v", fs.Args())
+	}
+	if err := o.validate(); err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	mix, err := parseMix("-mix", o.mix, []string{"predict", "get", "status", "metrics"})
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	prios, err := parseMix("-priorities", o.priorities, []string{"low", "normal", "high"})
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	keys := splitApps(o.keys) // same comma-list parsing as -apps
+	if len(keys) == 0 {
+		keys = []string{"anon"}
+	}
+
+	ls := &loadState{
+		opts:   o,
+		mix:    mix,
+		prios:  prios,
+		keys:   keys,
+		client: &http.Client{Timeout: 30 * time.Second},
+		perKey: make(map[string]*loadCounts, len(keys)),
+		lat:    telemetry.NewHistogram(latencyBuckets),
+	}
+	for _, k := range keys {
+		if _, ok := ls.perKey[k]; !ok {
+			ls.perKey[k] = &loadCounts{}
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, o.duration)
+	defer cancel()
+	ls.started = time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < o.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(o.seed) + int64(i)))
+			ls.clientLoop(runCtx, i, rng)
+		}(i)
+	}
+	wg.Wait()
+	ls.finished = time.Since(ls.started)
+
+	rep := ls.report()
+	if o.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+		if err := os.WriteFile(o.out, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+	}
+	if o.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+	} else {
+		renderLoadReport(out, rep)
+	}
+
+	if rep.OK == 0 {
+		return fmt.Errorf("loadgen: no request succeeded against %s", o.target)
+	}
+	if o.failOn5xx && rep.Other5xx > 0 {
+		return fmt.Errorf("loadgen: %d non-drain 5xx responses (server bug under load)", rep.Other5xx)
+	}
+	return nil
+}
+
+// clientLoop is one client goroutine: pick an endpoint from the mix,
+// issue it (with retry/backoff for predict), repeat until the deadline.
+func (ls *loadState) clientLoop(ctx context.Context, idx int, rng *rand.Rand) {
+	key := ls.tenantFor(idx)
+	for ctx.Err() == nil {
+		switch pick(ls.mix, rng) {
+		case "predict":
+			ls.doPredict(ctx, key, rng)
+		case "get":
+			if id := ls.randomJob(rng); id != "" {
+				ls.doGet(ctx, key, "/v1/predictions/"+id)
+			} else {
+				// Nothing admitted yet: seed the pool instead of spinning.
+				ls.doPredict(ctx, key, rng)
+			}
+		case "status":
+			ls.doGet(ctx, key, "/healthz")
+		case "metrics":
+			ls.doGet(ctx, key, "/metrics")
+		}
+	}
+}
+
+// doPredict issues one logical POST /v1/predictions: a fresh
+// Idempotency-Key, reused verbatim across up to -retries shed retries,
+// honoring the server's Retry-After (capped at -max-backoff).
+func (ls *loadState) doPredict(ctx context.Context, key string, rng *rand.Rand) {
+	body := predictBodies[rng.Intn(len(predictBodies))]
+	req := make(map[string]any, len(body)+1)
+	for k, v := range body {
+		req[k] = v
+	}
+	if prio := pick(ls.prios, rng); prio != "normal" {
+		req["priority"] = prio
+	}
+	payload, _ := json.Marshal(req)
+	idemKey := fmt.Sprintf("lg-%d-%d", ls.opts.seed, ls.idemSeq.Add(1))
+
+	counts := ls.perKey[key]
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			return
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			ls.opts.target+"/v1/predictions", bytes.NewReader(payload))
+		if err != nil {
+			return
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set(server.IdempotencyKeyHeader, idemKey)
+		if key != "anon" {
+			hreq.Header.Set("X-API-Key", key)
+		}
+		start := time.Now()
+		resp, err := ls.client.Do(hreq)
+		ls.total.requests.Add(1)
+		counts.requests.Add(1)
+		if err != nil {
+			if ctx.Err() != nil {
+				return // deadline racing the request, not a server fault
+			}
+			ls.total.netErr.Add(1)
+			counts.netErr.Add(1)
+			return
+		}
+		retryAfter := resp.Header.Get("Retry-After")
+		replayed := resp.Header.Get(server.IdempotencyReplayHeader) == "true"
+		rbody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			ls.lat.Observe(time.Since(start).Seconds())
+			ls.total.ok.Add(1)
+			counts.ok.Add(1)
+			ls.total.admitted.Add(1)
+			counts.admitted.Add(1)
+			if replayed {
+				ls.total.replays.Add(1)
+				counts.replays.Add(1)
+			}
+			var job struct {
+				ID string `json:"id"`
+			}
+			if json.Unmarshal(rbody, &job) == nil && job.ID != "" {
+				ls.rememberJob(job.ID)
+			}
+			return
+		case resp.StatusCode == http.StatusTooManyRequests:
+			ls.total.shed.Add(1)
+			counts.shed.Add(1)
+		case resp.StatusCode == http.StatusServiceUnavailable && retryAfter != "":
+			ls.total.drain.Add(1)
+			counts.drain.Add(1)
+		case resp.StatusCode >= 500:
+			ls.total.bad5xx.Add(1)
+			counts.bad5xx.Add(1)
+			return // not retryable: this is the bug loadgen exists to catch
+		default:
+			ls.total.client4x.Add(1)
+			counts.client4x.Add(1)
+			return
+		}
+		// Shed (429) or draining (503): back off and retry the same
+		// logical request, same Idempotency-Key.
+		if attempt >= ls.opts.retries {
+			return
+		}
+		ls.total.retries.Add(1)
+		counts.retries.Add(1)
+		wait := ls.opts.backoff << uint(attempt)
+		if s, err := strconv.Atoi(retryAfter); err == nil && s > 0 {
+			wait = time.Duration(s) * time.Second
+		}
+		if wait > ls.opts.maxBackoff {
+			wait = ls.opts.maxBackoff
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(wait):
+		}
+	}
+}
+
+// doGet issues one read-only request (no retries: reads are cheap and
+// the next loop iteration is the retry).
+func (ls *loadState) doGet(ctx context.Context, key, path string) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, ls.opts.target+path, nil)
+	if err != nil {
+		return
+	}
+	if key != "anon" {
+		hreq.Header.Set("X-API-Key", key)
+	}
+	counts := ls.perKey[key]
+	start := time.Now()
+	resp, err := ls.client.Do(hreq)
+	ls.total.requests.Add(1)
+	counts.requests.Add(1)
+	if err != nil {
+		if ctx.Err() != nil {
+			return
+		}
+		ls.total.netErr.Add(1)
+		counts.netErr.Add(1)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		ls.lat.Observe(time.Since(start).Seconds())
+		ls.total.ok.Add(1)
+		counts.ok.Add(1)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		ls.total.shed.Add(1)
+		counts.shed.Add(1)
+	case resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "":
+		ls.total.drain.Add(1)
+		counts.drain.Add(1)
+	case resp.StatusCode >= 500:
+		ls.total.bad5xx.Add(1)
+		counts.bad5xx.Add(1)
+	default:
+		ls.total.client4x.Add(1)
+		counts.client4x.Add(1)
+	}
+}
+
+// loadReport is the machine-readable run summary (also what -out writes).
+type loadReport struct {
+	Target     string  `json:"target"`
+	Clients    int     `json:"clients"`
+	DurationS  float64 `json:"duration_seconds"`
+	Requests   uint64  `json:"requests"`
+	OK         uint64  `json:"ok"`
+	Admitted   uint64  `json:"admitted"`
+	Shed429    uint64  `json:"shed_429"`
+	Drain503   uint64  `json:"drain_503"`
+	Other5xx   uint64  `json:"other_5xx"`
+	Client4xx  uint64  `json:"client_4xx"`
+	NetErrors  uint64  `json:"net_errors"`
+	Retries    uint64  `json:"retries"`
+	Replays    uint64  `json:"idempotent_replays"`
+	Throughput float64 `json:"ok_per_second"`
+	ShedRate   float64 `json:"shed_rate"`
+	P50Ms      float64 `json:"latency_p50_ms"`
+	P95Ms      float64 `json:"latency_p95_ms"`
+	P99Ms      float64 `json:"latency_p99_ms"`
+	MeanMs     float64 `json:"latency_mean_ms"`
+	Fairness   float64 `json:"fairness"`
+
+	Tenants []tenantReport `json:"tenants"`
+}
+
+// tenantReport is one API key's slice of the run.
+type tenantReport struct {
+	Key      string  `json:"key"`
+	Requests uint64  `json:"requests"`
+	Admitted uint64  `json:"admitted"`
+	Shed     uint64  `json:"shed"`
+	Share    float64 `json:"admitted_share"`
+}
+
+func (ls *loadState) report() loadReport {
+	snap := ls.lat.Snapshot()
+	rep := loadReport{
+		Target:    ls.opts.target,
+		Clients:   ls.opts.clients,
+		DurationS: ls.finished.Seconds(),
+		Requests:  ls.total.requests.Load(),
+		OK:        ls.total.ok.Load(),
+		Admitted:  ls.total.admitted.Load(),
+		Shed429:   ls.total.shed.Load(),
+		Drain503:  ls.total.drain.Load(),
+		Other5xx:  ls.total.bad5xx.Load(),
+		Client4xx: ls.total.client4x.Load(),
+		NetErrors: ls.total.netErr.Load(),
+		Retries:   ls.total.retries.Load(),
+		Replays:   ls.total.replays.Load(),
+		P50Ms:     snap.Quantile(0.50) * 1000,
+		P95Ms:     snap.Quantile(0.95) * 1000,
+		P99Ms:     snap.Quantile(0.99) * 1000,
+		MeanMs:    snap.Mean() * 1000,
+	}
+	if rep.DurationS > 0 {
+		rep.Throughput = float64(rep.OK) / rep.DurationS
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed429) / float64(rep.Requests)
+	}
+
+	var totalAdmitted uint64
+	for _, c := range ls.perKey {
+		totalAdmitted += c.admitted.Load()
+	}
+	keys := make([]string, 0, len(ls.perKey))
+	for k := range ls.perKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	minShare, maxShare := 1.0, 0.0
+	for _, k := range keys {
+		c := ls.perKey[k]
+		tr := tenantReport{
+			Key:      k,
+			Requests: c.requests.Load(),
+			Admitted: c.admitted.Load(),
+			Shed:     c.shed.Load(),
+		}
+		if totalAdmitted > 0 {
+			tr.Share = float64(tr.Admitted) / float64(totalAdmitted)
+		}
+		if tr.Share < minShare {
+			minShare = tr.Share
+		}
+		if tr.Share > maxShare {
+			maxShare = tr.Share
+		}
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	// Fairness: min/max admitted share across keys (1.0 = perfectly even;
+	// meaningful only with 2+ keys).
+	if len(keys) >= 2 && maxShare > 0 {
+		rep.Fairness = minShare / maxShare
+	} else if totalAdmitted > 0 {
+		rep.Fairness = 1
+	}
+	return rep
+}
+
+// renderLoadReport prints the human-readable summary.
+func renderLoadReport(w io.Writer, r loadReport) {
+	fmt.Fprintln(w, "== loadgen ==")
+	fmt.Fprintf(w, "target:      %s (%d clients, %.1fs)\n", r.Target, r.Clients, r.DurationS)
+	fmt.Fprintf(w, "requests:    %d (ok %d, shed-429 %d, drain-503 %d, other-5xx %d, 4xx %d, net %d)\n",
+		r.Requests, r.OK, r.Shed429, r.Drain503, r.Other5xx, r.Client4xx, r.NetErrors)
+	fmt.Fprintf(w, "retries:     %d (idempotent replays %d)\n", r.Retries, r.Replays)
+	fmt.Fprintf(w, "latency:     p50 %.2fms  p95 %.2fms  p99 %.2fms  (mean %.2fms)\n",
+		r.P50Ms, r.P95Ms, r.P99Ms, r.MeanMs)
+	fmt.Fprintf(w, "throughput:  %.1f ok/s, shed rate %.1f%%\n", r.Throughput, 100*r.ShedRate)
+	for _, t := range r.Tenants {
+		fmt.Fprintf(w, "tenant %-12s requests %-6d admitted %-6d shed %-6d share %.1f%%\n",
+			t.Key, t.Requests, t.Admitted, t.Shed, 100*t.Share)
+	}
+	fmt.Fprintf(w, "fairness:    %.2f (min/max admitted share)\n", r.Fairness)
+}

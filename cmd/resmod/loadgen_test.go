@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resmod/internal/server"
+)
+
+// TestLoadgenFlagValidation: misconfigurations fail before any request
+// is sent, naming the bad flag.
+func TestLoadgenFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{}, "-target"},
+		{[]string{"-target", "ftp://x"}, "-target"},
+		{[]string{"-target", "http://x", "-clients", "0"}, "-clients"},
+		{[]string{"-target", "http://x", "-duration", "0s"}, "-duration"},
+		{[]string{"-target", "http://x", "-retries", "-1"}, "-retries"},
+		{[]string{"-target", "http://x", "-backoff", "0s"}, "-backoff"},
+		{[]string{"-target", "http://x", "-max-backoff", "1ms"}, "-max-backoff"},
+		{[]string{"-target", "http://x", "-mix", "predict=60,delete=40"}, "-mix"},
+		{[]string{"-target", "http://x", "-mix", "predict=0"}, "-mix"},
+		{[]string{"-target", "http://x", "-priorities", "urgent=1"}, "-priorities"},
+		{[]string{"-target", "http://x", "extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		var out, errw bytes.Buffer
+		err := run(context.Background(), append([]string{"loadgen"}, tc.args...), &out, &errw)
+		if err == nil {
+			t.Errorf("loadgen %v accepted", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("loadgen %v error %q does not name %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestParseMix pins the mix grammar: weights, bare names, whitespace,
+// and the validation of entry names.
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("-mix", " predict=3, get ", []string{"predict", "get"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0] != (weighted{"predict", 3}) || mix[1] != (weighted{"get", 1}) {
+		t.Fatalf("parseMix = %v", mix)
+	}
+	if _, err := parseMix("-mix", "predict=x", nil); err == nil {
+		t.Fatal("bad weight accepted")
+	}
+	if _, err := parseMix("-mix", ",,", nil); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	// A weighted draw over {a:1, b:3} must return both names eventually.
+	rng := rand.New(rand.NewSource(1))
+	seen := map[string]bool{}
+	two := []weighted{{"a", 1}, {"b", 3}}
+	for i := 0; i < 100; i++ {
+		seen[pick(two, rng)] = true
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("pick never drew both entries: %v", seen)
+	}
+}
+
+// TestLoadgenEndToEnd drives a real hardened server for a second and
+// checks the report adds up: successes happened, no non-drain 5xx, both
+// tenants appear, and the JSON artifact round-trips.
+func TestLoadgenEndToEnd(t *testing.T) {
+	srv := server.New(server.Config{
+		Trials: 5, Seed: 42, Workers: 2, Queue: 32,
+		APIKeys: map[string]string{"k1": "team1"},
+	})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		_ = srv.Close(context.Background())
+	})
+
+	outFile := filepath.Join(t.TempDir(), "report.json")
+	var out, errw bytes.Buffer
+	err := run(context.Background(), []string{"loadgen",
+		"-target", hs.URL, "-clients", "4", "-duration", "1s",
+		"-mix", "predict=50,get=30,status=10,metrics=10",
+		"-keys", "anon,k1", "-retries", "1",
+		"-out", outFile, "-fail-on-5xx"}, &out, &errw)
+	if err != nil {
+		t.Fatalf("loadgen: %v\nstderr: %s", err, errw.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report artifact is not JSON: %v", err)
+	}
+	if rep.OK == 0 {
+		t.Fatal("report shows zero successful requests")
+	}
+	if rep.Other5xx != 0 {
+		t.Fatalf("report shows %d non-drain 5xx against a healthy server", rep.Other5xx)
+	}
+	if len(rep.Tenants) != 2 || rep.Tenants[0].Key != "anon" || rep.Tenants[1].Key != "k1" {
+		t.Fatalf("tenant breakdown = %+v, want anon and k1", rep.Tenants)
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms {
+		t.Fatalf("latency quantiles inconsistent: p50=%v p99=%v", rep.P50Ms, rep.P99Ms)
+	}
+	for _, line := range []string{"== loadgen ==", "throughput:", "fairness:"} {
+		if !strings.Contains(out.String(), line) {
+			t.Fatalf("human summary missing %q:\n%s", line, out.String())
+		}
+	}
+}
+
+// TestLoadgenFailOn5xx: a backend that 500s on submissions must turn
+// into a non-zero exit when -fail-on-5xx is set.
+func TestLoadgenFailOn5xx(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(hs.Close)
+
+	var out, errw bytes.Buffer
+	err := run(context.Background(), []string{"loadgen",
+		"-target", hs.URL, "-clients", "2", "-duration", "300ms",
+		"-mix", "predict=1,status=1", "-fail-on-5xx"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "5xx") {
+		t.Fatalf("err = %v, want a non-drain-5xx failure", err)
+	}
+}

@@ -23,6 +23,7 @@
 //	predict   one custom prediction: -app, -small, -large
 //	all       every experiment above, in order
 //	serve     long-running prediction service (HTTP JSON API + /metrics)
+//	loadgen   load-generation harness for a running serve instance
 //
 // Common flags: -trials, -seed, -apps, -workers, and the observability
 // trio every subcommand shares: -quiet (warnings only), -v (debug),
@@ -109,6 +110,9 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	if cmd == "serve" {
 		return doServe(ctx, args[1:], out, errw)
 	}
+	if cmd == "loadgen" {
+		return doLoadgen(ctx, args[1:], out, errw)
+	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var o options
@@ -126,7 +130,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs.IntVar(&o.large, "large", 64, "large-scale rank count for predict")
 	fs.BoolVar(&o.json, "json", false, "emit machine-readable JSON instead of tables")
 	fs.DurationVar(&o.budget, "budget", 0, "per-campaign wall-clock budget (0 = none)")
-	fs.StringVar(&o.benchOut, "out", defaultBenchOut, "bench: output JSON `file`")
+	fs.StringVar(&o.benchOut, "out", "", "bench: output JSON `file` (required)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -210,10 +214,16 @@ func usage(w io.Writer) {
 experiments: apps table1 table2 fig1 fig2 fig3 fig5 fig6 fig7 fig8 overhead predict all report
 extras:      campaign ablate trace stability baselines modelablate scalesweep advise
              bench (sequential-vs-concurrent PredictAll wall times -> -out FILE,
-             default BENCH_pr5.json)
+             required)
              (use -app, -class, -small, -large)
 service:     serve -listen HOST:PORT -store DIR -workers N -queue N -drain D
              -pprof-addr HOST:PORT (optional net/http/pprof listener)
+             -api-keys KEY:TENANT,... or -api-keys-file FILE (tenancy)
+             -tenant-rate/-tenant-burst/-tenant-inflight (keyed limits)
+             -anon-rate/-anon-burst/-anon-inflight (anonymous-tier limits)
+loadgen:     loadgen -target URL -clients N -duration D -mix predict=60,get=25,...
+             -keys KEY,... -priorities normal=80,... -retries N -out FILE
+             -fail-on-5xx (non-zero exit on any 5xx other than a drain 503)
 flags: -trials N -seed N -apps CG,FT,... -workers N -campaign-parallel N -budget D
        -quiet (warnings only) -v (debug) -trace FILE (Chrome trace JSON)
        (predict only) -app NAME -class C -small S -large P

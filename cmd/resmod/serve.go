@@ -8,7 +8,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"resmod/internal/server"
@@ -30,6 +32,14 @@ type serveOptions struct {
 	campaignParallel int
 	drain            time.Duration
 	pprofAddr        string
+	apiKeys          string
+	apiKeysFile      string
+	tenantRate       float64
+	tenantBurst      int
+	tenantInflight   int
+	anonRate         float64
+	anonBurst        int
+	anonInflight     int
 	tf               telFlags
 }
 
@@ -65,7 +75,80 @@ func (o serveOptions) validate() error {
 	if o.drain <= 0 {
 		return fmt.Errorf("-drain must be positive, got %v", o.drain)
 	}
+	if o.apiKeys != "" && o.apiKeysFile != "" {
+		return fmt.Errorf("-api-keys and -api-keys-file are mutually exclusive")
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"-tenant-rate", o.tenantRate}, {"-anon-rate", o.anonRate}} {
+		if f.v < 0 {
+			return fmt.Errorf("%s must be non-negative, got %v", f.name, f.v)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"-tenant-burst", o.tenantBurst}, {"-tenant-inflight", o.tenantInflight},
+		{"-anon-burst", o.anonBurst}, {"-anon-inflight", o.anonInflight},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("%s must be non-negative, got %d", f.name, f.v)
+		}
+	}
 	return nil
+}
+
+// parseAPIKeys parses "key:tenant,key:tenant" into the server's key map.
+// Tenant names must not collide with the reserved anonymous tier, and a
+// key registered twice is a config bug worth failing on.
+func parseAPIKeys(s string) (map[string]string, error) {
+	keys := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, tenant, found := strings.Cut(part, ":")
+		key, tenant = strings.TrimSpace(key), strings.TrimSpace(tenant)
+		if !found || key == "" || tenant == "" {
+			return nil, fmt.Errorf("api key entry %q: want KEY:TENANT", part)
+		}
+		if tenant == server.AnonTenant {
+			return nil, fmt.Errorf("api key entry %q: tenant name %q is reserved for the anonymous tier",
+				part, server.AnonTenant)
+		}
+		if prev, dup := keys[key]; dup {
+			return nil, fmt.Errorf("api key %q registered twice (tenants %q and %q)", key, prev, tenant)
+		}
+		keys[key] = tenant
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("api key list %q selects nothing", s)
+	}
+	return keys, nil
+}
+
+// loadAPIKeysFile reads one KEY:TENANT pair per line ('#' comments and
+// blank lines ignored) so keys can live outside process listings.
+func loadAPIKeysFile(path string) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries = append(entries, line)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%s: no KEY:TENANT entries", path)
+	}
+	return parseAPIKeys(strings.Join(entries, ","))
 }
 
 // validListenAddr checks a host:port flag value without resolving it.
@@ -120,6 +203,21 @@ func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
 		"concurrent campaigns per prediction job (default GOMAXPROCS; 1 = sequential)")
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 	fs.StringVar(&o.pprofAddr, "pprof-addr", "", "host:port for a net/http/pprof listener (empty: disabled)")
+	fs.StringVar(&o.apiKeys, "api-keys", "", "inline API keys: KEY:TENANT,KEY:TENANT,...")
+	fs.StringVar(&o.apiKeysFile, "api-keys-file", "",
+		"`file` of KEY:TENANT lines ('#' comments allowed); exclusive with -api-keys")
+	fs.Float64Var(&o.tenantRate, "tenant-rate", 0,
+		"sustained submissions/sec per keyed tenant (0 = unlimited)")
+	fs.IntVar(&o.tenantBurst, "tenant-burst", 0,
+		"submission burst per keyed tenant (0 = derived from -tenant-rate)")
+	fs.IntVar(&o.tenantInflight, "tenant-inflight", 0,
+		"max queued+running jobs per keyed tenant (0 = unlimited)")
+	fs.Float64Var(&o.anonRate, "anon-rate", 0,
+		"sustained submissions/sec for the anonymous tier (0 = unlimited)")
+	fs.IntVar(&o.anonBurst, "anon-burst", 0,
+		"submission burst for the anonymous tier (0 = derived from -anon-rate)")
+	fs.IntVar(&o.anonInflight, "anon-inflight", 0,
+		"max queued+running anonymous jobs (0 = unlimited)")
 	o.tf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,6 +237,26 @@ func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
 		CampaignParallel: o.campaignParallel,
 		Logger:           rt.tel.Logger(),
 		Tracer:           rt.tracer,
+		TenantLimits: server.TenantLimits{
+			Rate: o.tenantRate, Burst: o.tenantBurst, MaxInflight: o.tenantInflight,
+		},
+		AnonLimits: server.TenantLimits{
+			Rate: o.anonRate, Burst: o.anonBurst, MaxInflight: o.anonInflight,
+		},
+	}
+	switch {
+	case o.apiKeys != "":
+		keys, err := parseAPIKeys(o.apiKeys)
+		if err != nil {
+			return fmt.Errorf("serve: -api-keys: %w", err)
+		}
+		cfg.APIKeys = keys
+	case o.apiKeysFile != "":
+		keys, err := loadAPIKeysFile(o.apiKeysFile)
+		if err != nil {
+			return fmt.Errorf("serve: -api-keys-file: %w", err)
+		}
+		cfg.APIKeys = keys
 	}
 	if o.storeDir != "" {
 		st, err := store.Open(store.Config{Dir: o.storeDir, MaxEntries: o.cache})

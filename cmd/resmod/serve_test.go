@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -46,6 +48,16 @@ func TestServeFlagValidation(t *testing.T) {
 		{[]string{"-trials", "0"}, "-trials"},
 		{[]string{"-campaign-workers", "-1"}, "-campaign-workers"},
 		{[]string{"-drain", "0s"}, "-drain"},
+		{[]string{"-api-keys", "k:t", "-api-keys-file", "f"}, "mutually exclusive"},
+		{[]string{"-api-keys", "justakey"}, "KEY:TENANT"},
+		{[]string{"-api-keys", "k:anon"}, "reserved"},
+		{[]string{"-api-keys", "k:a,k:b"}, "twice"},
+		{[]string{"-api-keys-file", "/does/not/exist"}, "-api-keys-file"},
+		{[]string{"-tenant-rate", "-1"}, "-tenant-rate"},
+		{[]string{"-tenant-burst", "-1"}, "-tenant-burst"},
+		{[]string{"-tenant-inflight", "-1"}, "-tenant-inflight"},
+		{[]string{"-anon-rate", "-0.5"}, "-anon-rate"},
+		{[]string{"-anon-inflight", "-2"}, "-anon-inflight"},
 		{[]string{"extra", "positional"}, "unexpected arguments"},
 	}
 	for _, tc := range cases {
@@ -58,6 +70,31 @@ func TestServeFlagValidation(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("serve %v error %q does not name %q", tc.args, err, tc.want)
 		}
+	}
+}
+
+// TestAPIKeysFile pins the key-file grammar: comments and blanks skipped,
+// KEY:TENANT per line, parsed into the same map as the inline flag.
+func TestAPIKeysFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys")
+	content := "# production keys\n\nalpha-key:team-alpha\nbeta-key:team-beta\n"
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := loadAPIKeysFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"alpha-key": "team-alpha", "beta-key": "team-beta"}
+	if len(keys) != len(want) || keys["alpha-key"] != "team-alpha" || keys["beta-key"] != "team-beta" {
+		t.Fatalf("loadAPIKeysFile = %v, want %v", keys, want)
+	}
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, []byte("# nothing\n\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadAPIKeysFile(empty); err == nil {
+		t.Fatal("comment-only key file accepted")
 	}
 }
 

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"resmod/internal/store"
+)
+
+// IdempotencyKeyHeader is the client-supplied retry token on
+// POST /v1/predictions.  A retried request carrying the same key replays
+// the original response — status, body, job id — instead of being
+// admitted again, which is the server-side half of the classic
+// retry-with-backoff client pattern: clients may retry as hard as they
+// like without ever duplicating work or observing a second job id.
+//
+// This composes with (rather than replaces) content-addressed job dedup:
+// content addressing collapses *identical payloads* onto one job, while
+// the idempotency key pins *one logical client request* — whatever its
+// payload — to the exact response it first produced, even across a
+// server restart (records persist in the result store).
+const IdempotencyKeyHeader = "Idempotency-Key"
+
+// IdempotencyReplayHeader marks a response served from an idempotency
+// record rather than freshly computed admission.
+const IdempotencyReplayHeader = "Idempotency-Replay"
+
+// idemVersion versions the stored record schema.
+const idemVersion = 1
+
+// idemRecord is the durable memo of one keyed submission's original
+// response.  Only successful admissions (2xx) are recorded: a shed (429)
+// or draining (503) answer must stay retryable under the same key.
+type idemRecord struct {
+	Version     int               `json:"version"`
+	Tenant      string            `json:"tenant"`
+	Key         string            `json:"key"`
+	RequestHash string            `json:"request_hash"`
+	Request     PredictionRequest `json:"request"`
+	Status      int               `json:"status"`
+	Body        json.RawMessage   `json:"body"`
+	JobID       string            `json:"job_id"`
+}
+
+// idemIndex answers Idempotency-Key lookups from memory first and the
+// durable store second (so replays survive restarts).  Keys are scoped
+// per tenant: two tenants reusing the same key string never collide.
+type idemIndex struct {
+	store *store.Store // nil: memory only
+
+	mu  sync.Mutex
+	mem map[string]idemRecord
+}
+
+func newIdemIndex(st *store.Store) *idemIndex {
+	return &idemIndex{store: st, mem: make(map[string]idemRecord)}
+}
+
+// storeKey is the result-store address of one (tenant, key) record.  The
+// client key is hashed so arbitrarily long or hostile keys cost O(1).
+func idemStoreKey(tenant, key string) string {
+	h := sha256.Sum256([]byte(key))
+	return fmt.Sprintf("idem:v%d/%s/%s", idemVersion, tenant, hex.EncodeToString(h[:]))
+}
+
+// requestHash fingerprints the normalized request so a key reused with a
+// different payload is detected as a conflict instead of replaying an
+// unrelated response.
+func requestHash(req PredictionRequest) string {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return "unhashable"
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// lookup finds a prior record for (tenant, key).
+func (ix *idemIndex) lookup(tenant, key string) (idemRecord, bool) {
+	memKey := tenant + "\x00" + key
+	ix.mu.Lock()
+	rec, ok := ix.mem[memKey]
+	ix.mu.Unlock()
+	if ok {
+		return rec, true
+	}
+	if ix.store == nil {
+		return idemRecord{}, false
+	}
+	if !ix.store.GetJSON(idemStoreKey(tenant, key), &rec) {
+		return idemRecord{}, false
+	}
+	if rec.Version != idemVersion || rec.Tenant != tenant {
+		return idemRecord{}, false
+	}
+	// The store round-trip compacts the embedded RawMessage; restore the
+	// writeJSON indentation so a replay is byte-identical to the original
+	// response even across a restart.
+	var buf bytes.Buffer
+	if json.Indent(&buf, rec.Body, "", "  ") == nil {
+		buf.WriteByte('\n')
+		rec.Body = buf.Bytes()
+	}
+	ix.mu.Lock()
+	ix.mem[memKey] = rec
+	ix.mu.Unlock()
+	return rec, true
+}
+
+// record memoizes a successful admission's response (best effort on the
+// durable half: a store write failure only costs replay-across-restart).
+func (ix *idemIndex) record(rec idemRecord) {
+	rec.Version = idemVersion
+	ix.mu.Lock()
+	ix.mem[rec.Tenant+"\x00"+rec.Key] = rec
+	ix.mu.Unlock()
+	if ix.store != nil {
+		_ = ix.store.PutJSON(idemStoreKey(rec.Tenant, rec.Key), rec)
+	}
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"resmod/internal/store"
+)
+
+const idemBody = `{"app":"PENNANT","small":4,"large":8}`
+
+// postRaw POSTs body with headers and returns the raw response body.
+func postRaw(t *testing.T, url, body string, hdr map[string]string) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestIdempotentReplay: a retried POST with the same Idempotency-Key
+// replays the original response — status, body, job id — and never
+// enqueues a second job.
+func TestIdempotentReplay(t *testing.T) {
+	st, err := store.Open(store.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, hs := newTestServer(t, st, 1, 8)
+
+	hdr := map[string]string{IdempotencyKeyHeader: "retry-abc"}
+	code, _, v := postJSONHeader(t, hs.URL+"/v1/predictions", idemBody, hdr)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit returned %d: %v", code, v)
+	}
+	id := v["id"].(string)
+
+	code, rh, v2 := postJSONHeader(t, hs.URL+"/v1/predictions", idemBody, hdr)
+	if code != http.StatusAccepted {
+		t.Fatalf("replay returned %d, want the original 202", code)
+	}
+	if rh.Get(IdempotencyReplayHeader) != "true" {
+		t.Fatal("replay not flagged with Idempotency-Replay: true")
+	}
+	if v2["id"] != id {
+		t.Fatalf("replay job id %v != original %v", v2["id"], id)
+	}
+	// The body is the original snapshot, even if the job advanced since.
+	if v2["status"] != StatusQueued {
+		t.Fatalf("replayed status %v, want the original %q", v2["status"], StatusQueued)
+	}
+	if got := srv.metrics.submitted.Load(); got != 1 {
+		t.Fatalf("submitted = %d after replay, want 1", got)
+	}
+	if got := srv.metrics.idemReplays.Load(); got != 1 {
+		t.Fatalf("idempotent replay counter = %d, want 1", got)
+	}
+	pollDone(t, hs.URL, id)
+}
+
+// TestIdempotencyConflict: reusing a key with a different payload is a
+// client bug answered with 409, never a silent replay of the wrong job.
+func TestIdempotencyConflict(t *testing.T) {
+	srv, hs := newTestServer(t, nil, 1, 8)
+	hdr := map[string]string{IdempotencyKeyHeader: "retry-abc"}
+	code, _, v := postJSONHeader(t, hs.URL+"/v1/predictions", idemBody, hdr)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit returned %d: %v", code, v)
+	}
+	code, _, v = postJSONHeader(t, hs.URL+"/v1/predictions",
+		`{"app":"PENNANT","small":2,"large":8}`, hdr)
+	if code != http.StatusConflict {
+		t.Fatalf("conflicting reuse returned %d (%v), want 409", code, v)
+	}
+	if got := srv.metrics.idemConflicts.Load(); got != 1 {
+		t.Fatalf("conflict counter = %d, want 1", got)
+	}
+}
+
+// TestIdempotencyAcrossRestart: the record persists in the store, so a
+// retried POST against a freshly restarted process still replays the
+// original response with the same job id — and the materialized job is
+// pollable without recomputing anything.
+func TestIdempotencyAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hs1 := newTestServer(t, st1, 1, 8)
+	hdr := map[string]string{IdempotencyKeyHeader: "retry-restart"}
+	code, _, v := postJSONHeader(t, hs1.URL+"/v1/predictions", idemBody, hdr)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d: %v", code, v)
+	}
+	id := v["id"].(string)
+	origBody := postRaw(t, hs1.URL+"/v1/predictions", idemBody, hdr)
+	pollDone(t, hs1.URL, id)
+
+	st2, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, hs2 := newTestServer(t, st2, 1, 8)
+	var rh http.Header
+	code, rh, v = postJSONHeader(t, hs2.URL+"/v1/predictions", idemBody, hdr)
+	if code != http.StatusAccepted {
+		t.Fatalf("post-restart replay returned %d (%v), want the original 202", code, v)
+	}
+	if rh.Get(IdempotencyReplayHeader) != "true" {
+		t.Fatal("post-restart replay not flagged")
+	}
+	if v["id"] != id {
+		t.Fatalf("post-restart replay id %v != original %v (duplicate job)", v["id"], id)
+	}
+	// The replay is the original response byte-for-byte, even though the
+	// record round-tripped through the store (which compacts RawMessage).
+	if got := postRaw(t, hs2.URL+"/v1/predictions", idemBody, hdr); got != origBody {
+		t.Fatalf("post-restart replay body not byte-identical:\ngot:  %q\nwant: %q", got, origBody)
+	}
+	// The replayed job id resolves: the record materialized the finished
+	// job from the store, without executing a single trial.
+	_, got := getJSON(t, hs2.URL+"/v1/predictions/"+id)
+	if got["status"] != StatusDone || got["cached"] != true {
+		t.Fatalf("materialized job = %v, want done+cached", got)
+	}
+	text := scrape(t, hs2.URL)
+	if trials := metricValue(t, text, "resmod_campaign_trials_total"); trials != 0 {
+		t.Fatalf("restarted server executed %v trials on a replay", trials)
+	}
+	if got := srv2.metrics.submitted.Load(); got != 0 {
+		t.Fatalf("replay enqueued %d jobs on the restarted server", got)
+	}
+}
+
+// TestShedNotRecorded: a rate-limited (429) attempt must not burn the
+// idempotency key — the client's retry with the same key must be able
+// to succeed later.
+func TestShedNotRecorded(t *testing.T) {
+	srv, hs := newHardenedServer(t, Config{
+		Trials: 10, Seed: 42, Workers: 1, Queue: 8,
+		AnonLimits: TenantLimits{Rate: 0.0001, Burst: 1},
+	})
+	// Burn the only token without a key.
+	code, _, _ := postJSONHeader(t, hs.URL+"/v1/predictions",
+		`{"app":"PENNANT","small":2,"large":8}`, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("token-burning submit returned %d", code)
+	}
+	hdr := map[string]string{IdempotencyKeyHeader: "retry-shed"}
+	code, _, _ = postJSONHeader(t, hs.URL+"/v1/predictions", idemBody, hdr)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("keyed submit returned %d, want 429", code)
+	}
+	if _, found := srv.idem.lookup(AnonTenant, "retry-shed"); found {
+		t.Fatal("a shed (429) response was recorded under the idempotency key")
+	}
+}

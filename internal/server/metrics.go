@@ -18,23 +18,34 @@ import (
 // caches) to minutes (paper-scale trial counts), so the buckets span both.
 var latencyBuckets = []float64{0.005, 0.025, 0.1, 0.5, 1, 5, 15, 60, 300}
 
+// queueWaitBuckets bound the admission-to-start wait histogram: an idle
+// server starts jobs in microseconds, a saturated one in minutes.
+var queueWaitBuckets = []float64{0.0005, 0.005, 0.025, 0.1, 0.5, 1, 5, 30, 120}
+
 // histogram is a Prometheus-style cumulative histogram.
 type histogram struct {
+	bounds []float64
+
 	mu      sync.Mutex
-	buckets []uint64 // one per latencyBuckets bound, plus +Inf at the end
+	buckets []uint64 // one per bound, plus +Inf at the end
 	sum     float64
 	count   uint64
 }
 
 func newHistogram() *histogram {
-	return &histogram{buckets: make([]uint64, len(latencyBuckets)+1)}
+	return newBucketHistogram(latencyBuckets)
+}
+
+// newBucketHistogram builds a histogram over custom ascending bounds.
+func newBucketHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, buckets: make([]uint64, len(bounds)+1)}
 }
 
 // observe records one sample.
 func (h *histogram) observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	i := sort.SearchFloat64s(latencyBuckets, v)
+	i := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[i]++
 	h.sum += v
 	h.count++
@@ -42,17 +53,32 @@ func (h *histogram) observe(v float64) {
 
 // write emits the histogram in Prometheus text exposition format.
 func (h *histogram) write(w io.Writer, name string) {
+	h.writeLabeled(w, name, "")
+}
+
+// writeLabeled emits the histogram with an optional fixed label set
+// (e.g. `tenant="anon"`) merged into every series.
+func (h *histogram) writeLabeled(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var cum uint64
-	for i, le := range latencyBuckets {
+	for i, le := range h.bounds {
 		cum += h.buckets[i]
-		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, le, cum)
 	}
-	cum += h.buckets[len(latencyBuckets)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+	cum += h.buckets[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count)
+	}
 }
 
 // requestKey labels one HTTP request counter series.  A comparable
@@ -87,7 +113,26 @@ type metrics struct {
 
 	campaigns atomic.Uint64 // campaigns actually executed (not cached)
 
+	authFailures  atomic.Uint64 // submissions with an unknown API key
+	idemReplays   atomic.Uint64 // responses replayed from an idempotency record
+	idemConflicts atomic.Uint64 // idempotency keys reused with a different payload
+
 	latency *histogram
+
+	tmu        sync.Mutex
+	tenantsByN map[string]*tenantMetrics
+}
+
+// tenantMetrics is one tenant's admission-control series: how much got
+// in, how much was shed and why, and how long admitted work queued.
+type tenantMetrics struct {
+	admitted    atomic.Uint64 // jobs accepted into the queue
+	ratelimited atomic.Uint64 // requests shed by the token bucket (429)
+	shedQuota   atomic.Uint64 // submissions shed at the inflight quota (429)
+	shedQueue   atomic.Uint64 // submissions shed at queue saturation (429)
+	shedDrain   atomic.Uint64 // submissions refused while draining (503)
+	queued      atomic.Int64  // jobs currently waiting in the queue
+	queueWait   *histogram    // admission-to-start wait, seconds
 }
 
 func newMetrics() *metrics {
@@ -95,7 +140,35 @@ func newMetrics() *metrics {
 		start:        time.Now(),
 		httpRequests: make(map[requestKey]uint64),
 		latency:      newHistogram(),
+		tenantsByN:   make(map[string]*tenantMetrics),
 	}
+}
+
+// tenant returns (creating on first touch) the named tenant's series.
+func (m *metrics) tenant(name string) *tenantMetrics {
+	if name == "" {
+		name = AnonTenant
+	}
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	tm, ok := m.tenantsByN[name]
+	if !ok {
+		tm = &tenantMetrics{queueWait: newBucketHistogram(queueWaitBuckets)}
+		m.tenantsByN[name] = tm
+	}
+	return tm
+}
+
+// tenantNames returns the known tenants in stable order.
+func (m *metrics) tenantNames() []string {
+	m.tmu.Lock()
+	names := make([]string, 0, len(m.tenantsByN))
+	for n := range m.tenantsByN {
+		names = append(names, n)
+	}
+	m.tmu.Unlock()
+	sort.Strings(names)
+	return names
 }
 
 // request records one served HTTP request.
@@ -114,7 +187,7 @@ func (m *metrics) request(method, route string, code int) {
 // server-wide bus's latest snapshot per key (campaign-kind entries
 // become per-campaign gauge series).
 func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats, engine telemetry.Snapshot,
-	sched exper.SchedulerStats, progress []telemetry.ProgressEvent) {
+	sched exper.SchedulerStats, progress []telemetry.ProgressEvent, tenantInflight []tenantGauge) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -156,6 +229,14 @@ func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats, en
 	counter("resmod_predictions_rejected_total",
 		"Submissions refused because the queue was full or the server was draining.",
 		m.rejected.Load())
+	counter("resmod_auth_failures_total",
+		"Submissions refused for carrying an unknown API key.", m.authFailures.Load())
+	counter("resmod_idempotent_replays_total",
+		"POST responses replayed verbatim from an idempotency record.",
+		m.idemReplays.Load())
+	counter("resmod_idempotent_conflicts_total",
+		"Idempotency keys reused with a different request payload (409).",
+		m.idemConflicts.Load())
 	counter("resmod_jobs_done_total", "Prediction jobs completed successfully.",
 		m.jobsDone.Load())
 	counter("resmod_jobs_failed_total", "Prediction jobs that ended in an error.",
@@ -232,6 +313,51 @@ func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats, en
 			continue
 		}
 		fmt.Fprintf(w, "resmod_trials_per_second{campaign=%q} %g\n", ev.Key, ev.TrialsPerSec)
+	}
+
+	// Per-tenant admission-control families.  HELP and TYPE lines are
+	// always emitted so the families are discoverable before any traffic;
+	// series appear as tenants first touch the service.
+	names := m.tenantNames()
+	fmt.Fprintf(w, "# HELP resmod_tenant_admitted_total Jobs admitted into the queue, by tenant.\n")
+	fmt.Fprintf(w, "# TYPE resmod_tenant_admitted_total counter\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "resmod_tenant_admitted_total{tenant=%q} %d\n", n, m.tenant(n).admitted.Load())
+	}
+	fmt.Fprintf(w, "# HELP resmod_tenant_ratelimited_total Requests shed by the tenant's token bucket (429).\n")
+	fmt.Fprintf(w, "# TYPE resmod_tenant_ratelimited_total counter\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "resmod_tenant_ratelimited_total{tenant=%q} %d\n", n, m.tenant(n).ratelimited.Load())
+	}
+	fmt.Fprintf(w, "# HELP resmod_tenant_shed_total Submissions shed before admission, by tenant and reason (quota/queue are 429, drain is 503).\n")
+	fmt.Fprintf(w, "# TYPE resmod_tenant_shed_total counter\n")
+	for _, n := range names {
+		tm := m.tenant(n)
+		for _, rc := range []struct {
+			reason string
+			v      uint64
+		}{
+			{"quota", tm.shedQuota.Load()},
+			{"queue", tm.shedQueue.Load()},
+			{"drain", tm.shedDrain.Load()},
+		} {
+			fmt.Fprintf(w, "resmod_tenant_shed_total{tenant=%q,reason=%q} %d\n", n, rc.reason, rc.v)
+		}
+	}
+	fmt.Fprintf(w, "# HELP resmod_tenant_queued Jobs currently waiting in the queue, by tenant.\n")
+	fmt.Fprintf(w, "# TYPE resmod_tenant_queued gauge\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "resmod_tenant_queued{tenant=%q} %d\n", n, m.tenant(n).queued.Load())
+	}
+	fmt.Fprintf(w, "# HELP resmod_tenant_inflight Queued-plus-running jobs charged to each tenant's quota.\n")
+	fmt.Fprintf(w, "# TYPE resmod_tenant_inflight gauge\n")
+	for _, g := range tenantInflight {
+		fmt.Fprintf(w, "resmod_tenant_inflight{tenant=%q} %g\n", g.tenant, g.value)
+	}
+	fmt.Fprintf(w, "# HELP resmod_queue_wait_seconds Admission-to-start wait of executed jobs, by tenant.\n")
+	fmt.Fprintf(w, "# TYPE resmod_queue_wait_seconds histogram\n")
+	for _, n := range names {
+		m.tenant(n).queueWait.writeLabeled(w, "resmod_queue_wait_seconds", fmt.Sprintf("tenant=%q", n))
 	}
 
 	if storeStats != nil {

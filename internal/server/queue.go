@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Job priorities.  The queue dequeues strictly by priority (FIFO within
+// one level), so a high-priority arrival preempts every *queued*
+// lower-priority job — running jobs are never interrupted, preserving
+// the determinism and cache contracts of the engine underneath.
+const (
+	PrioLow    = 0
+	PrioNormal = 1
+	PrioHigh   = 2
+)
+
+// priorityNames maps wire values ("priority" on POST /v1/predictions)
+// to queue levels.  The empty string is normal: requests that never
+// heard of priorities behave exactly as before.
+var priorityNames = map[string]int{
+	"":       PrioNormal,
+	"low":    PrioLow,
+	"normal": PrioNormal,
+	"high":   PrioHigh,
+}
+
+// parsePriority maps the request field to a queue level.
+func parsePriority(s string) (int, error) {
+	p, ok := priorityNames[s]
+	if !ok {
+		return 0, fmt.Errorf(`unknown priority %q (want "low", "normal" or "high")`, s)
+	}
+	return p, nil
+}
+
+// priorityName renders a queue level back to its wire value.
+func priorityName(p int) string {
+	switch p {
+	case PrioLow:
+		return "low"
+	case PrioHigh:
+		return "high"
+	default:
+		return "normal"
+	}
+}
+
+// jobQueue is the scheduler's bounded priority queue: three FIFO levels
+// under one lock, with a condition variable waking idle workers.  It
+// replaces the former plain channel so that (a) dequeue order honors
+// priority and (b) a queued job can be promoted in place when a
+// duplicate submission arrives with a higher priority.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cap    int
+	closed bool
+	levels [3][]*job
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a job at the given priority.  It fails when the queue is
+// saturated (the caller sheds with 429) or closed (the caller answers
+// 503: the server is draining).
+func (q *jobQueue) push(j *job, prio int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.depthLocked() >= q.cap {
+		return false
+	}
+	q.levels[prio] = append(q.levels[prio], j)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until a job is available and returns the highest-priority
+// one (FIFO within a level).  ok is false once the queue is closed —
+// immediately, even with jobs still queued, because a draining server
+// must stop starting new work (Close cancels the leftovers via drain).
+func (q *jobQueue) pop() (j *job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil, false
+		}
+		for lvl := PrioHigh; lvl >= PrioLow; lvl-- {
+			if len(q.levels[lvl]) > 0 {
+				j := q.levels[lvl][0]
+				q.levels[lvl][0] = nil
+				q.levels[lvl] = q.levels[lvl][1:]
+				return j, true
+			}
+		}
+		q.cond.Wait()
+	}
+}
+
+// promote moves a queued job to a higher priority level, returning
+// whether it was found still queued.  Already-running (or finished)
+// jobs are left alone — preemption never touches running work.
+func (q *jobQueue) promote(j *job, prio int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for lvl := PrioLow; lvl < prio; lvl++ {
+		for i, x := range q.levels[lvl] {
+			if x == j {
+				q.levels[lvl] = append(q.levels[lvl][:i], q.levels[lvl][i+1:]...)
+				q.levels[prio] = append(q.levels[prio], j)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// close wakes every blocked pop with ok=false.  Queued jobs stay in
+// place for drain to collect.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// drain removes and returns everything still queued (any priority).
+func (q *jobQueue) drain() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*job
+	for lvl := PrioHigh; lvl >= PrioLow; lvl-- {
+		out = append(out, q.levels[lvl]...)
+		q.levels[lvl] = nil
+	}
+	return out
+}
+
+// depth is the number of queued jobs across all priorities.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depthLocked()
+}
+
+func (q *jobQueue) depthLocked() int {
+	return len(q.levels[PrioLow]) + len(q.levels[PrioNormal]) + len(q.levels[PrioHigh])
+}

@@ -35,6 +35,11 @@ type PredictionRequest struct {
 	Small int `json:"small"`
 	// Large is the target scale being predicted.
 	Large int `json:"large"`
+	// Priority is the scheduling class: "low", "normal" (default) or
+	// "high".  It orders the admission queue only — it is not part of
+	// the content address, so the same prediction submitted at any
+	// priority is still one job.
+	Priority string `json:"priority,omitempty"`
 }
 
 // PredictionKeyVersion versions the prediction-store key schema.
@@ -63,6 +68,11 @@ type Prediction struct {
 	Status  string            `json:"status"`
 	Cached  bool              `json:"cached"`
 	Request PredictionRequest `json:"request"`
+	// Priority is the job's effective scheduling class.  Omitted for
+	// default-priority submissions, so pre-hardening clients see
+	// byte-identical responses; promotions by a later high-priority
+	// duplicate are visible here.
+	Priority string `json:"priority,omitempty"`
 	// Result is present once Status is "done".
 	Result *exper.PredictionRow `json:"result,omitempty"`
 	// Error is present when Status is "failed" or "canceled".
@@ -83,6 +93,9 @@ type job struct {
 	key   string
 	req   PredictionRequest
 	reqID string
+	// tenant is the submitting tenant (quota slots and per-tenant
+	// metrics are charged to it for the job's whole lifetime).
+	tenant string
 	// progress is the job-scoped live-progress bus (nil for store-served
 	// jobs, which never compute).  It exists from submission — SSE clients
 	// can subscribe while the job is still queued — and forwards every
@@ -98,9 +111,11 @@ type job struct {
 	mu        sync.Mutex
 	status    string
 	cached    bool
+	prio      int // effective queue level (promotions raise it)
 	row       *exper.PredictionRow
 	err       string
 	submitted time.Time
+	started   time.Time // when a worker picked the job up
 	elapsed   time.Duration
 	tracer    *telemetry.Tracer // per-job spans, set when the job starts
 }
@@ -117,11 +132,32 @@ func closedChan() chan struct{} {
 func (j *job) view() Prediction {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	prio := ""
+	if j.prio != PrioNormal || j.req.Priority != "" {
+		prio = priorityName(j.prio)
+	}
 	return Prediction{
 		ID: j.id, Status: j.status, Cached: j.cached, Request: j.req,
-		Result: j.row, Error: j.err, SubmittedAt: j.submitted,
+		Priority: prio,
+		Result:   j.row, Error: j.err, SubmittedAt: j.submitted,
 		ElapsedMS: j.elapsed.Milliseconds(), RequestID: j.reqID,
 	}
+}
+
+// setPriority records a promotion (the queue already moved the job).
+func (j *job) setPriority(prio int) {
+	j.mu.Lock()
+	if prio > j.prio {
+		j.prio = prio
+	}
+	j.mu.Unlock()
+}
+
+// startedAt returns when a worker picked the job up (zero while queued).
+func (j *job) startedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started
 }
 
 // traceTracer returns the job's span recorder (nil until it starts).
@@ -167,24 +203,18 @@ func (j *job) finish() {
 	})
 }
 
-// worker is one scheduler goroutine: it drains the queue until the server
-// starts closing, finishing the job it already holds (graceful drain).
+// worker is one scheduler goroutine: it pops the priority queue until
+// the server starts closing, finishing the job it already holds
+// (graceful drain; pop returns ok=false the moment the queue closes,
+// even with jobs still queued — Close cancels those).
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		// Prefer quit so a draining server stops picking up queued work
-		// even while the queue is non-empty.
-		select {
-		case <-s.quit:
+		j, ok := s.queue.pop()
+		if !ok {
 			return
-		default:
 		}
-		select {
-		case <-s.quit:
-			return
-		case j := <-s.queue:
-			s.runJob(j)
-		}
+		s.runJob(j)
 	}
 }
 
@@ -196,10 +226,17 @@ func (s *Server) worker() {
 // that actually ran it.
 func (s *Server) runJob(j *job) {
 	tr := telemetry.NewTracer()
+	now := time.Now()
 	j.mu.Lock()
 	j.status = StatusRunning
+	j.started = now
 	j.tracer = tr
+	wait := now.Sub(j.submitted)
 	j.mu.Unlock()
+	tm := s.metrics.tenant(j.tenant)
+	tm.queued.Add(-1)
+	tm.queueWait.observe(wait.Seconds())
+	defer s.tenants.release(j.tenant)
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 

@@ -31,6 +31,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -71,6 +72,15 @@ type Config struct {
 	// Store, when non-nil, persists campaign summaries and prediction
 	// rows so identical work is computed once ever.
 	Store *store.Store
+	// APIKeys maps API keys (sent as X-API-Key or Authorization: Bearer)
+	// to tenant names.  Requests with no key run as the anonymous tier;
+	// requests with an unknown key are refused with 401.
+	APIKeys map[string]string
+	// TenantLimits applies to every key-resolved tenant; AnonLimits to
+	// the anonymous tier.  Zero-valued limits admit everything, so
+	// servers that never configure tenancy behave exactly as before.
+	TenantLimits TenantLimits
+	AnonLimits   TenantLimits
 	// Log, when non-nil, receives progress events through an info-level
 	// structured logger.  Logger wins when both are set.
 	Log io.Writer
@@ -113,7 +123,9 @@ type Server struct {
 	quit      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
-	queue     chan *job
+	queue     *jobQueue
+	tenants   *tenants
+	idem      *idemIndex
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -127,7 +139,9 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		metrics: newMetrics(),
 		quit:    make(chan struct{}),
-		queue:   make(chan *job, cfg.Queue),
+		queue:   newJobQueue(cfg.Queue),
+		tenants: newTenants(cfg.APIKeys, cfg.TenantLimits, cfg.AnonLimits),
+		idem:    newIdemIndex(cfg.Store),
 		jobs:    make(map[string]*job),
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
@@ -214,7 +228,10 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Dur
 // interrupted through the session context (finishing promptly with
 // partial summaries that are never cached) and an error is returned.
 func (s *Server) Close(ctx context.Context) error {
-	s.closeOnce.Do(func() { close(s.quit) })
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		s.queue.close() // wake idle workers; they exit without new work
+	})
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
 	var err error
@@ -226,17 +243,15 @@ func (s *Server) Close(ctx context.Context) error {
 		err = fmt.Errorf("forced drain after %w", ctx.Err())
 	}
 	// Whatever is still queued never started; mark it canceled so polling
-	// clients get a terminal status.
-	for {
-		select {
-		case j := <-s.queue:
-			j.fail(StatusCanceled, errors.New("canceled: server shut down before the job started"), 0)
-			s.metrics.jobsCanceled.Add(1)
-		default:
-			s.cancel()
-			return err
-		}
+	// clients get a terminal status, and hand its quota slot back.
+	for _, j := range s.queue.drain() {
+		j.fail(StatusCanceled, errors.New("canceled: server shut down before the job started"), 0)
+		s.metrics.jobsCanceled.Add(1)
+		s.metrics.tenant(j.tenant).queued.Add(-1)
+		s.tenants.release(j.tenant)
 	}
+	s.cancel()
+	return err
 }
 
 // ---- handlers -------------------------------------------------------------
@@ -313,6 +328,23 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// marshalBody renders v exactly as writeJSON would (indented, trailing
+// newline), for paths that must both send and memoize the bytes.
+func marshalBody(v any) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return []byte("{}\n")
+	}
+	return append(b, '\n')
+}
+
+// writeJSONRaw sends pre-marshaled JSON bytes.
+func writeJSONRaw(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
@@ -354,8 +386,30 @@ func (s *Server) validate(req PredictionRequest) (PredictionRequest, error) {
 	return req, nil
 }
 
-// handleSubmit is POST /v1/predictions.
+// handleSubmit is POST /v1/predictions: tenant resolution, token-bucket
+// rate limiting, validation, idempotency replay, content-addressed
+// dedup, inflight quota, then priority-queue admission — in that order,
+// so overload is shed as early and as cheaply as possible.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant, authOK := s.tenants.resolve(r)
+	if !authOK {
+		s.metrics.authFailures.Add(1)
+		writeError(w, http.StatusUnauthorized, "unknown API key")
+		return
+	}
+	tm := s.metrics.tenant(tenant)
+
+	// Rate limit first: a tenant over its sustained rate is shed before
+	// the server spends anything decoding or validating its payload.
+	if ok, wait := s.tenants.allow(tenant); !ok {
+		tm.ratelimited.Add(1)
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.tenants.jitterSecs(wait)))
+		writeError(w, http.StatusTooManyRequests,
+			"tenant %q over its request rate; retry after the indicated delay", tenant)
+		return
+	}
+
 	var req PredictionRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -368,34 +422,95 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid prediction request: %v", err)
 		return
 	}
+	prio, err := parsePriority(req.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid prediction request: %v", err)
+		return
+	}
+
+	// Idempotency replay: a retried request (same tenant, same key)
+	// answers with the original response verbatim — same status, body and
+	// job id — no matter what the queue looks like now.
+	idemKey := r.Header.Get(IdempotencyKeyHeader)
+	reqHash := ""
+	if idemKey != "" {
+		reqHash = requestHash(req)
+		if rec, found := s.idem.lookup(tenant, idemKey); found {
+			if rec.RequestHash != reqHash {
+				s.metrics.idemConflicts.Add(1)
+				writeError(w, http.StatusConflict,
+					"Idempotency-Key %q was already used with a different request", idemKey)
+				return
+			}
+			s.materializeReplayed(rec)
+			s.metrics.idemReplays.Add(1)
+			w.Header().Set(IdempotencyReplayHeader, "true")
+			writeJSONRaw(w, rec.Status, rec.Body)
+			return
+		}
+	}
+
 	key := req.key(s.cfg.Trials, s.cfg.Seed)
 	id := jobID(key)
+
+	// memoize records the response under the idempotency key (successful
+	// admissions only — shed answers must stay retryable).
+	memoize := func(status int, body []byte) {
+		if idemKey == "" {
+			return
+		}
+		s.idem.record(idemRecord{Tenant: tenant, Key: idemKey, RequestHash: reqHash,
+			Request: req, Status: status, Body: body, JobID: id})
+	}
 
 	// The whole submit decision is one critical section so concurrent
 	// identical submissions cannot double-create a job.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[id]; ok && !j.retryable() {
+		// Joining an existing job: a higher-priority duplicate promotes
+		// the queued original (running work is never touched).
+		if s.queue.promote(j, prio) {
+			j.setPriority(prio)
+		}
 		s.metrics.joined.Add(1)
-		writeJSON(w, http.StatusOK, j.view())
+		body := marshalBody(j.view())
+		memoize(http.StatusOK, body)
+		writeJSONRaw(w, http.StatusOK, body)
 		return
 	}
 	if row, ok := s.getPrediction(key); ok {
 		j := &job{id: id, key: key, req: req, reqID: r.Header.Get(requestIDHeader),
+			tenant: tenant, prio: prio,
 			status: StatusDone, cached: true, row: row, submitted: time.Now(),
 			done: closedChan()}
 		s.jobs[id] = j
 		s.metrics.cacheHits.Add(1)
-		writeJSON(w, http.StatusOK, j.view())
+		body := marshalBody(j.view())
+		memoize(http.StatusOK, body)
+		writeJSONRaw(w, http.StatusOK, body)
 		return
 	}
 	s.metrics.cacheMisses.Add(1)
 	select {
 	case <-s.quit:
+		// Draining is terminal for this process: 503 (not 429) tells
+		// well-behaved clients to try another instance, not this one.
+		tm.shedDrain.Add(1)
 		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.tenants.jitterSecs(5*time.Second)))
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	default:
+	}
+	if !s.tenants.acquire(tenant) {
+		tm.shedQuota.Add(1)
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After",
+			strconv.Itoa(s.tenants.shedRetryAfter(s.queue.depth(), s.cfg.Queue)))
+		writeError(w, http.StatusTooManyRequests,
+			"tenant %q is at its max-inflight quota; retry after the indicated delay", tenant)
+		return
 	}
 	// The job bus exists from submission (SSE clients can subscribe while
 	// the job is still queued) and forwards every event to the server-wide
@@ -403,18 +518,47 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	prog := telemetry.NewProgress()
 	prog.ForwardTo(s.progress)
 	j := &job{id: id, key: key, req: req, reqID: r.Header.Get(requestIDHeader),
+		tenant: tenant, prio: prio,
 		status: StatusQueued, submitted: time.Now(),
 		progress: prog, done: make(chan struct{})}
-	select {
-	case s.queue <- j:
+	if s.queue.push(j, prio) {
 		s.jobs[id] = j
 		s.metrics.submitted.Add(1)
-		writeJSON(w, http.StatusAccepted, j.view())
-	default:
-		s.metrics.rejected.Add(1)
-		writeError(w, http.StatusServiceUnavailable,
-			"queue full (%d jobs waiting); retry later", s.cfg.Queue)
+		tm.admitted.Add(1)
+		tm.queued.Add(1)
+		body := marshalBody(j.view())
+		memoize(http.StatusAccepted, body)
+		writeJSONRaw(w, http.StatusAccepted, body)
+		return
 	}
+	s.tenants.release(tenant)
+	tm.shedQueue.Add(1)
+	s.metrics.rejected.Add(1)
+	w.Header().Set("Retry-After",
+		strconv.Itoa(s.tenants.shedRetryAfter(s.queue.depth(), s.cfg.Queue)))
+	writeError(w, http.StatusTooManyRequests,
+		"queue full (%d jobs waiting); retry after the indicated delay", s.cfg.Queue)
+}
+
+// materializeReplayed rebuilds the jobs-map entry behind a replayed
+// response when the process restarted since the original admission: if
+// the prediction finished and persisted, GET /v1/predictions/{id} works
+// again immediately.  Nothing to do when the job is still known.
+func (s *Server) materializeReplayed(rec idemRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[rec.JobID]; ok {
+		return
+	}
+	key := rec.Request.key(s.cfg.Trials, s.cfg.Seed)
+	row, ok := s.getPrediction(key)
+	if !ok {
+		return
+	}
+	s.jobs[rec.JobID] = &job{id: rec.JobID, key: key, req: rec.Request,
+		tenant: rec.Tenant, prio: PrioNormal,
+		status: StatusDone, cached: true, row: row, submitted: time.Now(),
+		done: closedChan()}
 }
 
 // handleGet is GET /v1/predictions/{id}.
@@ -506,7 +650,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
-		"queue_depth":    len(s.queue),
+		"queue_depth":    s.queue.depth(),
 		"jobs":           jobs,
 		"workers":        s.cfg.Workers,
 	})
@@ -520,8 +664,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.cfg.Store.Stats()
 		storeStats = &st
 	}
-	s.metrics.write(w, len(s.queue), storeStats, s.recorder.Snapshot(),
-		s.session.SchedulerStats(), s.progress.Latest())
+	s.metrics.write(w, s.queue.depth(), storeStats, s.recorder.Snapshot(),
+		s.session.SchedulerStats(), s.progress.Latest(), s.tenants.inflightSnapshot())
 }
 
 // ---- prediction store ------------------------------------------------------

@@ -47,6 +47,30 @@ func postJSON(t *testing.T, url string, body string) (int, map[string]any) {
 	return resp.StatusCode, v
 }
 
+// postJSONHeader posts body with extra request headers and returns the
+// status, response headers and decoded JSON body.
+func postJSONHeader(t *testing.T, url, body string, hdr map[string]string) (int, http.Header, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, resp.Header, v
+}
+
 func getJSON(t *testing.T, url string) (int, map[string]any) {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -305,7 +329,8 @@ func TestGracefulDrain(t *testing.T) {
 }
 
 // TestQueueFull fills the bounded queue (workers all busy) and checks the
-// overload answer is 503 with a JSON error.
+// overload answer is 429 with a JSON error and a Retry-After hint — shed,
+// never silently dropped.
 func TestQueueFull(t *testing.T) {
 	// No store, one worker, queue of one: the first job occupies the
 	// worker, the second waits, the third must be refused.
@@ -324,13 +349,16 @@ func TestQueueFull(t *testing.T) {
 	}
 	full := 0
 	for _, b := range bodies {
-		code, v := postJSON(t, hs.URL+"/v1/predictions", b)
+		code, hdr, v := postJSONHeader(t, hs.URL+"/v1/predictions", b, nil)
 		switch code {
 		case http.StatusAccepted:
-		case http.StatusServiceUnavailable:
+		case http.StatusTooManyRequests:
 			full++
 			if _, ok := v["error"].(string); !ok {
-				t.Fatalf("503 without error message: %v", v)
+				t.Fatalf("429 without error message: %v", v)
+			}
+			if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+				t.Fatalf("429 Retry-After = %q, want a positive integer", hdr.Get("Retry-After"))
 			}
 		default:
 			t.Fatalf("submit returned %d: %v", code, v)
@@ -341,6 +369,9 @@ func TestQueueFull(t *testing.T) {
 	}
 	if got := srv.metrics.rejected.Load(); got != uint64(full) {
 		t.Fatalf("rejected metric %d, want %d", got, full)
+	}
+	if got := srv.metrics.tenant(AnonTenant).shedQueue.Load(); got != uint64(full) {
+		t.Fatalf("anon shed-queue metric %d, want %d", got, full)
 	}
 }
 

@@ -145,7 +145,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 		Workers:       s.cfg.Workers,
-		QueueDepth:    len(s.queue),
+		QueueDepth:    s.queue.depth(),
 		QueueCapacity: s.cfg.Queue,
 		Jobs:          counts,
 		JobsTotal:     total,

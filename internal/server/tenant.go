@@ -1,0 +1,241 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// AnonTenant is the tenant name of requests carrying no API key.  The
+// anonymous tier is a real tenant — it gets its own rate limit, quota
+// and metric series — so an unauthenticated burst can never starve
+// keyed tenants.
+const AnonTenant = "anon"
+
+// TenantLimits bounds one tenant's submission traffic.  Zero values mean
+// "unlimited", which keeps servers configured without limits (every
+// pre-hardening deployment and test) byte-for-byte compatible.
+type TenantLimits struct {
+	// Rate is the sustained POST /v1/predictions admission rate in
+	// requests per second (token-bucket refill).  0 disables rate
+	// limiting for the tenant.
+	Rate float64
+	// Burst is the token-bucket capacity: how many requests may arrive
+	// back-to-back before the sustained rate applies.  Defaults to
+	// ceil(Rate) (minimum 1) when Rate is set.
+	Burst int
+	// MaxInflight caps the tenant's queued-plus-running jobs.  Submissions
+	// beyond it are shed with 429 before touching the queue.  0 = no cap.
+	MaxInflight int
+}
+
+func (l TenantLimits) withDefaults() TenantLimits {
+	if l.Rate > 0 && l.Burst <= 0 {
+		l.Burst = int(math.Ceil(l.Rate))
+		if l.Burst < 1 {
+			l.Burst = 1
+		}
+	}
+	return l
+}
+
+// tenantState is one tenant's live admission state: a token bucket plus
+// the inflight (queued + running) job count.
+type tenantState struct {
+	limits   TenantLimits
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+// tenants is the admission-control registry: API-key resolution plus
+// per-tenant token buckets and inflight quotas.  A nil *tenants is
+// valid and admits everything (servers without tenancy configured).
+type tenants struct {
+	keys  map[string]string // API key -> tenant name
+	keyed TenantLimits      // limits for key-resolved tenants
+	anon  TenantLimits      // limits for the anonymous tier
+	now   func() time.Time  // injectable clock for tests
+	rng   func() float64    // injectable jitter source for tests
+
+	mu     sync.Mutex
+	states map[string]*tenantState
+}
+
+// newTenants builds the registry.  keys maps API key -> tenant name.
+func newTenants(keys map[string]string, keyed, anon TenantLimits) *tenants {
+	return &tenants{
+		keys:   keys,
+		keyed:  keyed.withDefaults(),
+		anon:   anon.withDefaults(),
+		now:    time.Now,
+		rng:    rand.Float64,
+		states: make(map[string]*tenantState),
+	}
+}
+
+// apiKey extracts the client's API key from X-API-Key or an
+// "Authorization: Bearer <key>" header (empty when absent).
+func apiKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	auth := r.Header.Get("Authorization")
+	if rest, ok := strings.CutPrefix(auth, "Bearer "); ok {
+		return strings.TrimSpace(rest)
+	}
+	return ""
+}
+
+// resolve maps a request to its tenant.  ok is false for a present but
+// unknown API key (the 401 path: a typo'd key must fail loudly, not
+// silently demote the caller to the anonymous tier).
+func (t *tenants) resolve(r *http.Request) (tenant string, ok bool) {
+	key := apiKey(r)
+	if key == "" {
+		return AnonTenant, true
+	}
+	if t == nil {
+		// No tenancy configured: any presented key is unknown, but
+		// rejecting it would break clients that always send a key against
+		// an unhardened server.  Treat it as anonymous.
+		return AnonTenant, true
+	}
+	name, found := t.keys[key]
+	if !found {
+		return "", false
+	}
+	return name, true
+}
+
+// limitsFor returns the limit set a tenant runs under.
+func (t *tenants) limitsFor(tenant string) TenantLimits {
+	if tenant == AnonTenant {
+		return t.anon
+	}
+	return t.keyed
+}
+
+// state returns (creating if needed) the tenant's live state.  Callers
+// hold t.mu.
+func (t *tenants) state(tenant string) *tenantState {
+	st, ok := t.states[tenant]
+	if !ok {
+		lim := t.limitsFor(tenant)
+		st = &tenantState{limits: lim, tokens: float64(lim.Burst), last: t.now()}
+		t.states[tenant] = st
+	}
+	return st
+}
+
+// allow runs the tenant's token bucket: it admits the request (consuming
+// a token) or returns the duration until the next token so the 429 can
+// carry an honest Retry-After.  A nil registry admits everything.
+func (t *tenants) allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if t == nil {
+		return true, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.state(tenant)
+	if st.limits.Rate <= 0 {
+		return true, 0
+	}
+	now := t.now()
+	st.tokens += now.Sub(st.last).Seconds() * st.limits.Rate
+	if max := float64(st.limits.Burst); st.tokens > max {
+		st.tokens = max
+	}
+	st.last = now
+	if st.tokens >= 1 {
+		st.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - st.tokens) / st.limits.Rate * float64(time.Second))
+	return false, wait
+}
+
+// acquire claims one inflight slot for the tenant, failing when its
+// MaxInflight quota is already saturated.
+func (t *tenants) acquire(tenant string) bool {
+	if t == nil {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.state(tenant)
+	if st.limits.MaxInflight > 0 && st.inflight >= st.limits.MaxInflight {
+		return false
+	}
+	st.inflight++
+	return true
+}
+
+// release returns an inflight slot when a job reaches a terminal state.
+func (t *tenants) release(tenant string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.states[tenant]; ok && st.inflight > 0 {
+		st.inflight--
+	}
+}
+
+// inflightSnapshot returns every known tenant's current inflight count,
+// sorted by tenant name, for the /metrics gauges.
+func (t *tenants) inflightSnapshot() []tenantGauge {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]tenantGauge, 0, len(t.states))
+	for name, st := range t.states {
+		out = append(out, tenantGauge{tenant: name, value: float64(st.inflight)})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].tenant < out[j].tenant })
+	return out
+}
+
+// tenantGauge is one labeled gauge sample.
+type tenantGauge struct {
+	tenant string
+	value  float64
+}
+
+// jitterSecs converts a backoff hint into whole Retry-After seconds with
+// ±25% jitter (minimum 1s), so a synchronized fleet of shed clients does
+// not return as one thundering herd.
+func (t *tenants) jitterSecs(d time.Duration) int {
+	rng := rand.Float64
+	if t != nil && t.rng != nil {
+		rng = t.rng
+	}
+	secs := d.Seconds()
+	if secs < 1 {
+		secs = 1
+	}
+	secs *= 0.75 + 0.5*rng()
+	n := int(math.Ceil(secs))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// shedRetryAfter is the Retry-After hint for queue/quota sheds: grows
+// with queue fullness so clients back off harder the deeper the overload,
+// then jittered.
+func (t *tenants) shedRetryAfter(depth, capacity int) int {
+	base := time.Second
+	if capacity > 0 {
+		base += time.Duration(float64(4*time.Second) * float64(depth) / float64(capacity))
+	}
+	return t.jitterSecs(base)
+}

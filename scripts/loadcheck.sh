@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Load check for `resmod serve`: boots a deliberately quota-constrained
+# instance (tiny queue, anonymous rate limit, one keyed tenant) and runs
+# a short `resmod loadgen` burst against it with -fail-on-5xx.  The
+# generator exits non-zero if the server ever answers a 5xx other than a
+# drain 503 — overload must surface as 429 + Retry-After, never as an
+# internal error.  The JSON report lands in LOADCHECK_OUT (default
+# loadcheck.json) so CI can archive the latency/shedding numbers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out=${LOADCHECK_OUT:-loadcheck.json}
+duration=${LOADCHECK_DURATION:-5s}
+clients=${LOADCHECK_CLIENTS:-8}
+workdir=$(mktemp -d)
+pid=
+log="$workdir/serve.log"
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "loadcheck: FAIL: $*" >&2
+    echo "--- $log ---" >&2
+    cat "$log" >&2 || true
+    exit 1
+}
+
+go build -o "$workdir/resmod" ./cmd/resmod
+
+# Constrain everything: 2 workers, an 8-deep queue, a rate-limited
+# anonymous tier, and a keyed tenant with a small inflight quota — so a
+# few concurrent clients genuinely trip the shedding paths.
+"$workdir/resmod" serve -listen 127.0.0.1:0 -store "$workdir/store" \
+    -trials 10 -workers 2 -queue 8 -drain 30s \
+    -anon-rate 20 -anon-burst 10 \
+    -api-keys loadkey-a:team-a,loadkey-b:team-b \
+    -tenant-rate 20 -tenant-inflight 4 2>"$log" &
+pid=$!
+addr=
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#.*serving on http://\([^ ]*\).*#\1#p' "$log" | head -n1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || fail "server exited before binding"
+    sleep 0.1
+done
+[ -n "$addr" ] || fail "server never logged its address"
+
+"$workdir/resmod" loadgen -target "http://$addr" \
+    -clients "$clients" -duration "$duration" \
+    -mix 'predict=60,get=25,status=10,metrics=5' \
+    -keys anon,loadkey-a,loadkey-b \
+    -retries 2 -max-backoff 1s \
+    -out "$out" -fail-on-5xx || fail "loadgen reported a failure"
+
+# The report must exist and record real traffic.
+[ -s "$out" ] || fail "no report written to $out"
+grep -q '"ok": 0,' "$out" && fail "report shows zero successes"
+grep -q '"other_5xx": 0,' "$out" || fail "report shows non-drain 5xx responses"
+
+kill -TERM "$pid"
+wait "$pid" || fail "non-zero exit after SIGTERM"
+grep -q "drained cleanly" "$log" || fail "no clean-drain log line"
+pid=
+
+echo "loadcheck: OK ($(grep -o '"requests": [0-9]*' "$out" | head -n1) over $duration, report in $out)"

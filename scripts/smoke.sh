@@ -28,12 +28,15 @@ fail() {
     exit 1
 }
 
-# boot NAME: start the service, wait for its ephemeral address (read off
-# the startup log line) and a passing /healthz; sets $pid, $log, $addr.
+# boot NAME [extra serve flags...]: start the service, wait for its
+# ephemeral address (read off the startup log line) and a passing
+# /healthz; sets $pid, $log, $addr.
 boot() {
     log="$workdir/$1.log"
-    "$workdir/resmod" serve -listen 127.0.0.1:0 -store "$workdir/store" \
-        -trials 10 -workers 1 -drain 30s 2>"$log" &
+    store="$workdir/store"
+    shift
+    "$workdir/resmod" serve -listen 127.0.0.1:0 -store "$store" \
+        -trials 10 -workers 1 -drain 30s "$@" 2>"$log" &
     pid=$!
     addr=
     for _ in $(seq 1 100); do
@@ -139,4 +142,56 @@ echo "$metrics" | grep -q '^resmod_campaign_trials_total 0$' ||
     fail "warm server re-ran campaign trials"
 shutdown
 
-echo "smoke: OK (cold compute, live SSE progress, status + metrics, warm store hit across restart, clean drains)"
+# --- hardened run: tenancy, rate limits, idempotent replay ---------------
+# A tiny anonymous budget (burst 3, ~zero refill) plus one keyed tenant,
+# over a fresh store so admissions actually enqueue.
+boot hardened -store "$workdir/store-hardened" \
+    -anon-rate 0.02 -anon-burst 3 -api-keys smokekey:smoketeam
+hbody='{"app":"PENNANT","small":2,"large":4}'
+
+# Idempotent replay: same key + same payload answers with the original
+# job id and is flagged as a replay.
+idem_id=$(curl -fsS -X POST "http://$addr/v1/predictions" \
+    -H 'Idempotency-Key: smoke-idem' -d "$hbody" |
+    sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p') || true
+[ -n "$idem_id" ] || fail "idempotent submit returned no job id"
+hdr="$workdir/replay.hdr"
+idem_id2=$(curl -fsS -D "$hdr" -X POST "http://$addr/v1/predictions" \
+    -H 'Idempotency-Key: smoke-idem' -d "$hbody" |
+    sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p') || true
+[ "$idem_id2" = "$idem_id" ] || fail "replay job id '$idem_id2' != original '$idem_id'"
+grep -qi '^Idempotency-Replay: true' "$hdr" || fail "replay not flagged via header"
+
+# Anonymous tier: burst 3 is now spent by a third POST; the fourth is
+# shed with 429 and a positive Retry-After.
+curl -fsS -o /dev/null -X POST "http://$addr/v1/predictions" -d "$hbody" ||
+    fail "third anonymous POST (within burst) rejected"
+shed_hdr="$workdir/shed.hdr"
+code=$(curl -s -D "$shed_hdr" -o "$workdir/shed.body" -w '%{http_code}' \
+    -X POST "http://$addr/v1/predictions" -d "$hbody")
+[ "$code" = 429 ] || fail "over-limit anonymous POST returned $code, want 429"
+grep -Eqi '^Retry-After: [1-9][0-9]*' "$shed_hdr" ||
+    fail "429 carried no positive Retry-After"
+
+# A keyed tenant rides above the anonymous storm.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/v1/predictions" \
+    -H 'X-API-Key: smokekey' -d '{"app":"CG","small":2,"large":8}')
+case "$code" in 200|202) ;; *) fail "keyed POST returned $code while anon was shed";; esac
+
+# Per-tenant metric families.
+metrics=$(curl -fsS "http://$addr/metrics")
+echo "$metrics" | grep -q '^resmod_tenant_admitted_total{tenant="anon"} 1$' ||
+    fail "anon admitted counter != 1"
+echo "$metrics" | grep -q '^resmod_tenant_admitted_total{tenant="smoketeam"} 1$' ||
+    fail "smoketeam admitted counter != 1"
+echo "$metrics" | grep -q '^resmod_tenant_ratelimited_total{tenant="anon"} 1$' ||
+    fail "anon ratelimited counter != 1"
+echo "$metrics" | grep -q '^resmod_idempotent_replays_total 1$' ||
+    fail "idempotent replay counter != 1"
+echo "$metrics" | grep -q '^# TYPE resmod_tenant_shed_total counter' ||
+    fail "tenant shed family missing"
+echo "$metrics" | grep -q '^# TYPE resmod_queue_wait_seconds histogram' ||
+    fail "queue-wait histogram family missing"
+shutdown
+
+echo "smoke: OK (cold compute, live SSE progress, status + metrics, warm store hit across restart, tenancy + idempotent replay + 429 shedding, clean drains)"
