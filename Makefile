@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race cover bench gobench experiments report serve smoke trace clean
+.PHONY: all build fmt vet test test-short race cover bench gobench experiments report serve smoke trace distcheck clean
 
 all: build test
 
@@ -36,7 +36,7 @@ cover:
 BENCH_TRIALS ?= 100
 BENCH_SMALL  ?= 4
 BENCH_LARGE  ?= 16
-BENCH_PR     ?= 6
+BENCH_PR     ?= 7
 BENCH_OUT    ?= BENCH_pr$(BENCH_PR).json
 bench:
 	$(GO) run ./cmd/resmod bench -trials $(BENCH_TRIALS) \
@@ -65,6 +65,13 @@ serve:
 # prediction path end-to-end (also run in CI).
 smoke:
 	./scripts/smoke.sh
+
+# Boot a coordinator plus two worker processes, run a prediction
+# through the sharded HTTP path while killing one worker mid-run, and
+# assert the merged result is identical to a single-node run (also run
+# in CI; report in DISTCHECK_OUT, default distcheck.json).
+distcheck:
+	./scripts/distcheck.sh
 
 # Capture a Chrome trace of a small campaign into trace.json (open it
 # in chrome://tracing or https://ui.perfetto.dev).  CI runs the same

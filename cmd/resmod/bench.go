@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sync"
 	"time"
 
+	"resmod/internal/dist"
 	"resmod/internal/exper"
 	"resmod/internal/faultsim"
 )
@@ -38,6 +41,19 @@ type benchResult struct {
 	// campaign SummaryRecords (wall-clock field excluded) and identical
 	// prediction rows — the scheduler's correctness contract.
 	Identical bool `json:"identical"`
+	// DistWorkers is the in-process worker count of the distributed
+	// dimension (0: dimension skipped with -dist-workers 0).
+	DistWorkers int `json:"dist_workers"`
+	// DistributedNS is the PredictAll wall time with every campaign
+	// sharded over DistWorkers workers via the coordinator HTTP path;
+	// DistShards is how many shard round-trips that took.
+	DistributedNS int64   `json:"distributed_ns,omitempty"`
+	DistShards    int64   `json:"dist_shards,omitempty"`
+	DistSpeedup   float64 `json:"dist_speedup,omitempty"`
+	// DistIdentical reports that the sharded run's SummaryRecords and
+	// prediction rows matched the sequential single-node run byte for
+	// byte — the distributed determinism contract.
+	DistIdentical bool `json:"dist_identical"`
 }
 
 // doBench measures PredictAll sequential-vs-concurrent wall time on a
@@ -56,13 +72,25 @@ func doBench(ctx context.Context, o options, out, errw io.Writer) error {
 		names = exper.PaperBenchmarks
 	}
 
-	run := func(parallel int) (time.Duration, []exper.PredictionRow, map[string]string, error) {
+	// Pin GOMAXPROCS for the measured runs.  Earlier bench artifacts
+	// silently inherited whatever the process started with (a restricted
+	// cgroup or GOMAXPROCS=1 in the environment froze go_maxprocs at 1);
+	// raising it to the real core count here makes the recorded speedups
+	// reflect the hardware, and -maxprocs overrides for A/B runs.
+	procs := o.maxprocs
+	if procs <= 0 {
+		procs = runtime.NumCPU()
+	}
+	runtime.GOMAXPROCS(procs)
+
+	run := func(parallel int, distribute func(context.Context, faultsim.Campaign, *faultsim.Golden) (*faultsim.Summary, bool, error)) (time.Duration, []exper.PredictionRow, map[string]string, error) {
 		recs := make(map[string]string)
 		var mu sync.Mutex
 		s := exper.NewSession(exper.Config{
 			Trials: o.trials, Seed: o.seed, Workers: o.workers,
 			CampaignParallel: parallel,
 			Ctx:              ctx, Budget: o.budget,
+			Distribute: distribute,
 			OnCampaign: func(id string, sum *faultsim.Summary) {
 				rec := sum.Record(id)
 				rec.ElapsedNS = 0 // wall time is the one nondeterministic field
@@ -84,9 +112,27 @@ func doBench(ctx context.Context, o options, out, errw io.Writer) error {
 		return elapsed, rows, recs, err
 	}
 
+	same := func(rows []exper.PredictionRow, recs map[string]string,
+		seqRows []exper.PredictionRow, seqRecs map[string]string) bool {
+		if len(rows) != len(seqRows) || len(recs) != len(seqRecs) {
+			return false
+		}
+		for i := range seqRows {
+			if seqRows[i] != rows[i] {
+				return false
+			}
+		}
+		for id, rec := range seqRecs {
+			if recs[id] != rec {
+				return false
+			}
+		}
+		return true
+	}
+
 	fmt.Fprintf(errw, "bench: sequential PredictAll (%d apps, trials=%d, small=%d, large=%d)...\n",
 		len(names), o.trials, o.small, o.large)
-	seqD, seqRows, seqRecs, err := run(1)
+	seqD, seqRows, seqRecs, err := run(1, nil)
 	if err != nil {
 		return fmt.Errorf("bench: sequential run: %w", err)
 	}
@@ -95,28 +141,66 @@ func doBench(ctx context.Context, o options, out, errw io.Writer) error {
 		parallel = runtime.GOMAXPROCS(0)
 	}
 	fmt.Fprintf(errw, "bench: concurrent PredictAll (campaign-parallel=%d)...\n", parallel)
-	conD, conRows, conRecs, err := run(parallel)
+	conD, conRows, conRecs, err := run(parallel, nil)
 	if err != nil {
 		return fmt.Errorf("bench: concurrent run: %w", err)
 	}
-
-	identical := len(seqRows) == len(conRows) && len(seqRecs) == len(conRecs)
-	if identical {
-		for i := range seqRows {
-			if seqRows[i] != conRows[i] {
-				identical = false
-				break
-			}
-		}
-		for id, rec := range seqRecs {
-			if conRecs[id] != rec {
-				identical = false
-				break
-			}
-		}
-	}
-	if !identical {
+	if !same(conRows, conRecs, seqRows, seqRecs) {
 		return fmt.Errorf("bench: concurrent results differ from sequential — scheduler broke determinism")
+	}
+
+	// Distributed dimension: the same workload with every campaign
+	// sharded over -dist-workers in-process workers through the real
+	// coordinator HTTP path (register, heartbeat, shard dispatch, merge).
+	// On one host this measures protocol overhead, not speedup — the
+	// point is the wall-time delta and the byte-identical check.
+	var distD time.Duration
+	var distShards int64
+	if o.distWorkers > 0 {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("bench: coordinator listener: %w", err)
+		}
+		pool := dist.NewPool(dist.PoolConfig{})
+		hs := &http.Server{Handler: pool.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		wctx, wcancel := context.WithCancel(ctx)
+		defer wcancel()
+		coord := "http://" + ln.Addr().String()
+		for i := 0; i < o.distWorkers; i++ {
+			w, err := dist.NewWorker(dist.WorkerConfig{
+				Coordinator:    coord,
+				Workers:        o.workers,
+				HeartbeatEvery: 100 * time.Millisecond,
+			})
+			if err != nil {
+				return fmt.Errorf("bench: worker %d: %w", i, err)
+			}
+			go w.Run(wctx)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for pool.Stats().WorkersAlive < o.distWorkers {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("bench: %d workers failed to register within 10s", o.distWorkers)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		fmt.Fprintf(errw, "bench: distributed PredictAll (%d workers via %s)...\n", o.distWorkers, coord)
+		var distRows []exper.PredictionRow
+		var distRecs map[string]string
+		distD, distRows, distRecs, err = run(parallel, pool.Distribute)
+		if err != nil {
+			return fmt.Errorf("bench: distributed run: %w", err)
+		}
+		if !same(distRows, distRecs, seqRows, seqRecs) {
+			return fmt.Errorf("bench: distributed results differ from sequential — sharding broke determinism")
+		}
+		st := pool.Stats()
+		if st.ShardsCompleted == 0 {
+			return fmt.Errorf("bench: distributed run completed no shards — work fell back to local execution")
+		}
+		distShards = int64(st.ShardsCompleted)
 	}
 
 	res := benchResult{
@@ -131,9 +215,18 @@ func doBench(ctx context.Context, o options, out, errw io.Writer) error {
 		SequentialNS:     seqD.Nanoseconds(),
 		ConcurrentNS:     conD.Nanoseconds(),
 		Identical:        true,
+		DistWorkers:      o.distWorkers,
 	}
 	if conD > 0 {
 		res.Speedup = float64(seqD) / float64(conD)
+	}
+	if o.distWorkers > 0 {
+		res.DistributedNS = distD.Nanoseconds()
+		res.DistShards = distShards
+		res.DistIdentical = true
+		if distD > 0 {
+			res.DistSpeedup = float64(seqD) / float64(distD)
+		}
 	}
 	b, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -142,8 +235,13 @@ func doBench(ctx context.Context, o options, out, errw io.Writer) error {
 	if err := os.WriteFile(outFile, append(b, '\n'), 0o644); err != nil {
 		return fmt.Errorf("bench: writing %s: %w", outFile, err)
 	}
-	fmt.Fprintf(out, "sequential: %v\nconcurrent: %v (campaign-parallel=%d, cores=%d)\nspeedup: %.2fx, bit-identical: %v\nwrote %s\n",
+	fmt.Fprintf(out, "sequential: %v\nconcurrent: %v (campaign-parallel=%d, cores=%d)\nspeedup: %.2fx, bit-identical: %v\n",
 		seqD.Round(time.Millisecond), conD.Round(time.Millisecond),
-		parallel, res.GoMaxProcs, res.Speedup, res.Identical, outFile)
+		parallel, res.GoMaxProcs, res.Speedup, res.Identical)
+	if o.distWorkers > 0 {
+		fmt.Fprintf(out, "distributed: %v (%d workers, %d shards), speedup vs sequential: %.2fx, bit-identical: %v\n",
+			distD.Round(time.Millisecond), o.distWorkers, distShards, res.DistSpeedup, res.DistIdentical)
+	}
+	fmt.Fprintf(out, "wrote %s\n", outFile)
 	return nil
 }

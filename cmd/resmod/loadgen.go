@@ -215,7 +215,7 @@ func doLoadgen(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs.IntVar(&o.clients, "clients", 8, "concurrent client goroutines")
 	fs.DurationVar(&o.duration, "duration", 10*time.Second, "how long to generate load")
 	fs.StringVar(&o.mix, "mix", "predict=60,get=25,status=10,metrics=5",
-		"weighted endpoint mix (predict, get, status, metrics)")
+		"weighted endpoint mix (predict, get, status, metrics, workers)")
 	fs.StringVar(&o.keys, "keys", "anon",
 		"comma-separated API keys to spread clients across (\"anon\" = no key)")
 	fs.StringVar(&o.priorities, "priorities", "normal=80,high=10,low=10",
@@ -239,7 +239,7 @@ func doLoadgen(ctx context.Context, args []string, out, errw io.Writer) error {
 	if err := o.validate(); err != nil {
 		return fmt.Errorf("loadgen: %w", err)
 	}
-	mix, err := parseMix("-mix", o.mix, []string{"predict", "get", "status", "metrics"})
+	mix, err := parseMix("-mix", o.mix, []string{"predict", "get", "status", "metrics", "workers"})
 	if err != nil {
 		return fmt.Errorf("loadgen: %w", err)
 	}
@@ -330,6 +330,11 @@ func (ls *loadState) clientLoop(ctx context.Context, idx int, rng *rand.Rand) {
 			ls.doGet(ctx, key, "/healthz")
 		case "metrics":
 			ls.doGet(ctx, key, "/metrics")
+		case "workers":
+			// Coordinator awareness: the worker roster endpoint.  Plain
+			// servers answer it too (coordinator:false), so the mix entry
+			// is safe against any target.
+			ls.doGet(ctx, key, "/v1/workers")
 		}
 	}
 }

@@ -22,7 +22,10 @@
 //	overhead  instruction-count growth from serial to 4 ranks (§1)
 //	predict   one custom prediction: -app, -small, -large
 //	all       every experiment above, in order
-//	serve     long-running prediction service (HTTP JSON API + /metrics)
+//	serve     long-running prediction service (HTTP JSON API + /metrics);
+//	          -coordinator shards campaigns across registered workers
+//	worker    distributed execution node: registers with a coordinator and
+//	          executes dispatched trial-range shards
 //	loadgen   load-generation harness for a running serve instance
 //
 // Common flags: -trials, -seed, -apps, -workers, and the observability
@@ -83,6 +86,8 @@ type options struct {
 	json             bool
 	budget           time.Duration
 	benchOut         string
+	maxprocs         int
+	distWorkers      int
 }
 
 // emit renders v as JSON when -json is set and returns true.
@@ -113,6 +118,9 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	if cmd == "loadgen" {
 		return doLoadgen(ctx, args[1:], out, errw)
 	}
+	if cmd == "worker" {
+		return doWorker(ctx, args[1:], out, errw)
+	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var o options
@@ -131,6 +139,9 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs.BoolVar(&o.json, "json", false, "emit machine-readable JSON instead of tables")
 	fs.DurationVar(&o.budget, "budget", 0, "per-campaign wall-clock budget (0 = none)")
 	fs.StringVar(&o.benchOut, "out", "", "bench: output JSON `file` (required)")
+	fs.IntVar(&o.maxprocs, "maxprocs", 0, "bench: GOMAXPROCS for the measured runs (0 = all cores)")
+	fs.IntVar(&o.distWorkers, "dist-workers", 2,
+		"bench: in-process distributed workers for the sharded dimension (0 = skip)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -221,6 +232,10 @@ service:     serve -listen HOST:PORT -store DIR -workers N -queue N -drain D
              -api-keys KEY:TENANT,... or -api-keys-file FILE (tenancy)
              -tenant-rate/-tenant-burst/-tenant-inflight (keyed limits)
              -anon-rate/-anon-burst/-anon-inflight (anonymous-tier limits)
+             -coordinator (shard campaigns across registered workers)
+             -heartbeat-timeout D -shards-per-worker N (coordinator tuning)
+worker:      worker -coordinator URL -listen HOST:PORT -advertise URL
+             -name NAME -campaign-workers N -heartbeat D
 loadgen:     loadgen -target URL -clients N -duration D -mix predict=60,get=25,...
              -keys KEY,... -priorities normal=80,... -retries N -out FILE
              -fail-on-5xx (non-zero exit on any 5xx other than a drain 503)

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"resmod/internal/dist"
 	"resmod/internal/server"
 	"resmod/internal/store"
 )
@@ -40,6 +41,9 @@ type serveOptions struct {
 	anonRate         float64
 	anonBurst        int
 	anonInflight     int
+	coordinator      bool
+	heartbeatTimeout time.Duration
+	shardsPerWorker  int
 	tf               telFlags
 }
 
@@ -77,6 +81,16 @@ func (o serveOptions) validate() error {
 	}
 	if o.apiKeys != "" && o.apiKeysFile != "" {
 		return fmt.Errorf("-api-keys and -api-keys-file are mutually exclusive")
+	}
+	if !o.coordinator && (o.heartbeatTimeout != DefaultServeHeartbeatTimeout ||
+		o.shardsPerWorker != dist.DefaultShardsPerWorker) {
+		return fmt.Errorf("-heartbeat-timeout and -shards-per-worker need -coordinator")
+	}
+	if o.heartbeatTimeout <= 0 {
+		return fmt.Errorf("-heartbeat-timeout must be positive, got %v", o.heartbeatTimeout)
+	}
+	if o.shardsPerWorker <= 0 {
+		return fmt.Errorf("-shards-per-worker must be positive, got %d", o.shardsPerWorker)
 	}
 	for _, f := range []struct {
 		name string
@@ -185,6 +199,11 @@ func validHostname(host string) bool {
 	return true
 }
 
+// DefaultServeHeartbeatTimeout is the serve -heartbeat-timeout default
+// (it mirrors dist.DefaultHeartbeatTimeout; named so validate can tell
+// "left at default" from "set without -coordinator").
+const DefaultServeHeartbeatTimeout = dist.DefaultHeartbeatTimeout
+
 // doServe runs the prediction service until ctx is canceled (SIGINT or
 // SIGTERM from main), then drains gracefully.
 func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
@@ -218,6 +237,12 @@ func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
 		"submission burst for the anonymous tier (0 = derived from -anon-rate)")
 	fs.IntVar(&o.anonInflight, "anon-inflight", 0,
 		"max queued+running anonymous jobs (0 = unlimited)")
+	fs.BoolVar(&o.coordinator, "coordinator", false,
+		"act as a distributed-execution coordinator: accept resmod worker registrations and shard campaigns across them")
+	fs.DurationVar(&o.heartbeatTimeout, "heartbeat-timeout", DefaultServeHeartbeatTimeout,
+		"declare a worker dead after this long without a heartbeat (needs -coordinator)")
+	fs.IntVar(&o.shardsPerWorker, "shards-per-worker", dist.DefaultShardsPerWorker,
+		"trial-range chunks per alive worker when sharding a campaign (needs -coordinator)")
 	o.tf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -264,6 +289,12 @@ func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
 			return fmt.Errorf("serve: %w", err)
 		}
 		cfg.Store = st
+	}
+	if o.coordinator {
+		cfg.DistPool = dist.NewPool(dist.PoolConfig{
+			HeartbeatTimeout: o.heartbeatTimeout,
+			ShardsPerWorker:  o.shardsPerWorker,
+		})
 	}
 
 	// The pprof endpoints live on their own listener (off by default) so

@@ -1,0 +1,149 @@
+// Package dist is the distributed trial-execution tier: a coordinator
+// Pool that shards a campaign's trial range [0, Trials) across
+// registered Worker nodes over HTTP JSON, health-checks them via
+// heartbeats, re-shards the unfinished ranges of dead workers onto
+// survivors, and merges the returned shard tallies into a Summary
+// bit-identical to a single-node run.
+//
+// Determinism across processes rests on two invariants the faultsim
+// layer already provides: every trial's RNG stream is split from the
+// campaign seed by the *global* trial index (never shard index or
+// worker identity), and all shard tallies are commutative integer
+// counts carried as PR 1 Checkpoints — so any disjoint cover of the
+// trial range, in any dispatch order, with any re-shard history, merges
+// to the same SummaryRecord bytes.
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"resmod/internal/apps"
+	"resmod/internal/faultsim"
+	"resmod/internal/fpe"
+)
+
+// CampaignSpec is the JSON wire form of a faultsim.Campaign: exactly
+// the identity-affecting fields plus the per-trial timeout.  Execution
+// knobs that never enter cid:v2 (Workers, Pool, Budget, checkpoint and
+// progress settings) deliberately do not cross the wire — each worker
+// chooses its own trial concurrency, and the coordinator owns
+// checkpointing of the merged result.
+type CampaignSpec struct {
+	App              string      `json:"app"`
+	Class            string      `json:"class,omitempty"`
+	Procs            int         `json:"procs"`
+	Trials           int         `json:"trials"`
+	Errors           int         `json:"errors"`
+	Region           int         `json:"region"`
+	Seed             uint64      `json:"seed"`
+	TimeoutNS        int64       `json:"timeout_ns,omitempty"`
+	SpreadErrors     bool        `json:"spread_errors,omitempty"`
+	ContaminationTol float64     `json:"contamination_tol,omitempty"`
+	Pattern          int         `json:"pattern,omitempty"`
+	KindMask         uint8       `json:"kind_mask,omitempty"`
+	FixedBit         *uint       `json:"fixed_bit,omitempty"`
+	Window           *[2]float64 `json:"window,omitempty"`
+	MaxAbnormal      int         `json:"max_abnormal,omitempty"`
+	AbnormalRetries  int         `json:"abnormal_retries,omitempty"`
+}
+
+// SpecOf captures a campaign's wire form.  The campaign is normalized
+// first so both sides derive the same cid:v2 identity from the spec.
+func SpecOf(c faultsim.Campaign) CampaignSpec {
+	c = c.Normalized()
+	s := CampaignSpec{
+		App:              c.App.Name(),
+		Class:            c.Class,
+		Procs:            c.Procs,
+		Trials:           c.Trials,
+		Errors:           c.Errors,
+		Region:           int(c.Region),
+		Seed:             c.Seed,
+		TimeoutNS:        int64(c.Timeout),
+		SpreadErrors:     c.SpreadErrors,
+		ContaminationTol: c.ContaminationTol,
+		Pattern:          int(c.Pattern),
+		KindMask:         c.KindMask,
+		MaxAbnormal:      c.MaxAbnormal,
+		AbnormalRetries:  c.AbnormalRetries,
+	}
+	if c.FixedBit != nil {
+		b := *c.FixedBit
+		s.FixedBit = &b
+	}
+	if c.Window != nil {
+		w := *c.Window
+		s.Window = &w
+	}
+	return s
+}
+
+// Campaign reconstructs the executable campaign from the wire form,
+// resolving the app by name in the receiving process's registry.
+func (s CampaignSpec) Campaign() (faultsim.Campaign, error) {
+	app, err := apps.Lookup(s.App)
+	if err != nil {
+		return faultsim.Campaign{}, fmt.Errorf("dist: %w", err)
+	}
+	c := faultsim.Campaign{
+		App:              app,
+		Class:            s.Class,
+		Procs:            s.Procs,
+		Trials:           s.Trials,
+		Errors:           s.Errors,
+		Region:           faultsim.RegionMode(s.Region),
+		Seed:             s.Seed,
+		Timeout:          time.Duration(s.TimeoutNS),
+		SpreadErrors:     s.SpreadErrors,
+		ContaminationTol: s.ContaminationTol,
+		Pattern:          fpe.Pattern(s.Pattern),
+		KindMask:         s.KindMask,
+		MaxAbnormal:      s.MaxAbnormal,
+		AbnormalRetries:  s.AbnormalRetries,
+	}
+	if s.FixedBit != nil {
+		b := *s.FixedBit
+		c.FixedBit = &b
+	}
+	if s.Window != nil {
+		w := *s.Window
+		c.Window = &w
+	}
+	return c, nil
+}
+
+// ShardRequest is the coordinator→worker dispatch payload: one
+// contiguous trial range of one campaign.
+type ShardRequest struct {
+	Campaign CampaignSpec `json:"campaign"`
+	Start    int          `json:"start"`
+	End      int          `json:"end"`
+}
+
+// ShardResponse is the worker's reply: the shard's partial tallies.
+type ShardResponse struct {
+	Worker    string                `json:"worker"`
+	Result    *faultsim.ShardResult `json:"result"`
+	ElapsedNS int64                 `json:"elapsed_ns"`
+}
+
+// registerRequest / registerResponse / heartbeatRequest are the worker
+// control-plane payloads.
+type registerRequest struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+type registerResponse struct {
+	ID string `json:"id"`
+}
+
+type heartbeatRequest struct {
+	ID string `json:"id"`
+}
+
+// errorResponse mirrors the server package's error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}

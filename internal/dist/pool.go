@@ -1,0 +1,441 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resmod/internal/faultsim"
+	"resmod/internal/telemetry"
+)
+
+// Coordinator defaults.
+const (
+	// DefaultHeartbeatTimeout is how long a worker may go without a
+	// heartbeat before the coordinator declares it dead.
+	DefaultHeartbeatTimeout = 5 * time.Second
+	// DefaultShardsPerWorker is how many chunks per alive worker the
+	// trial range is cut into — over-decomposition, so that losing a
+	// worker forfeits only a fraction of its assignment and faster
+	// workers naturally steal more chunks.
+	DefaultShardsPerWorker = 4
+	// DefaultMinShard is the smallest chunk worth a network round trip.
+	DefaultMinShard = 8
+)
+
+// PoolConfig configures the coordinator's worker pool.
+type PoolConfig struct {
+	// HeartbeatTimeout declares a silent worker dead (default
+	// DefaultHeartbeatTimeout).
+	HeartbeatTimeout time.Duration
+	// ShardsPerWorker is the over-decomposition factor (default
+	// DefaultShardsPerWorker).
+	ShardsPerWorker int
+	// MinShard is the minimum trials per chunk (default DefaultMinShard).
+	MinShard int
+}
+
+// Pool is the coordinator's worker registry and shard dispatcher.  It
+// implements the exper.Config.Distribute contract: given a campaign and
+// its golden, cut [0, Trials) into chunks, dispatch them to alive
+// workers over HTTP, requeue the chunks of workers that die mid-flight
+// onto survivors, and finish any remainder locally so a campaign
+// admitted to the distributed path always completes (or fails
+// deterministically).
+type Pool struct {
+	cfg    PoolConfig
+	client *http.Client
+
+	mu      sync.Mutex
+	seq     int
+	workers map[string]*poolWorker
+
+	campaigns        atomic.Uint64
+	heartbeats       atomic.Uint64
+	shardsDispatched atomic.Uint64
+	shardsCompleted  atomic.Uint64
+	shardsRequeued   atomic.Uint64
+	shardsLocal      atomic.Uint64
+}
+
+// poolWorker is one registered execution node.
+type poolWorker struct {
+	id         string
+	name       string
+	url        string
+	registered time.Time
+
+	mu       sync.Mutex
+	lastSeen time.Time
+	done     uint64
+	failed   uint64
+}
+
+func (w *poolWorker) seen(now time.Time) {
+	w.mu.Lock()
+	w.lastSeen = now
+	w.mu.Unlock()
+}
+
+func (w *poolWorker) aliveAt(now time.Time, timeout time.Duration) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return now.Sub(w.lastSeen) <= timeout
+}
+
+// NewPool returns an empty coordinator pool.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = DefaultHeartbeatTimeout
+	}
+	if cfg.ShardsPerWorker <= 0 {
+		cfg.ShardsPerWorker = DefaultShardsPerWorker
+	}
+	if cfg.MinShard <= 0 {
+		cfg.MinShard = DefaultMinShard
+	}
+	return &Pool{
+		cfg: cfg,
+		// Shards run for as long as their trials take: the dispatch
+		// request must not carry a client-side timeout — cancellation is
+		// the context's (and the heartbeat watchdog's) job.
+		client:  &http.Client{},
+		workers: make(map[string]*poolWorker),
+	}
+}
+
+// Register adds (or replaces, keyed by callback URL) a worker and
+// returns its assigned id.  A fresh registration counts as a heartbeat.
+func (p *Pool) Register(name, url string) string {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, wk := range p.workers {
+		if wk.url == url {
+			// A restarted worker re-registers at the same URL; the stale
+			// entry would otherwise linger as a phantom until timeout.
+			delete(p.workers, id)
+		}
+	}
+	p.seq++
+	id := fmt.Sprintf("w%d", p.seq)
+	wk := &poolWorker{id: id, name: name, url: url, registered: now, lastSeen: now}
+	p.workers[id] = wk
+	return id
+}
+
+// Heartbeat refreshes a worker's liveness; false means the id is
+// unknown (e.g. the coordinator restarted) and the worker must
+// re-register.
+func (p *Pool) Heartbeat(id string) bool {
+	p.mu.Lock()
+	wk := p.workers[id]
+	p.mu.Unlock()
+	if wk == nil {
+		return false
+	}
+	wk.seen(time.Now())
+	p.heartbeats.Add(1)
+	return true
+}
+
+// alive snapshots the workers whose heartbeat is fresh.
+func (p *Pool) alive() []*poolWorker {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*poolWorker
+	for _, wk := range p.workers {
+		if wk.aliveAt(now, p.cfg.HeartbeatTimeout) {
+			out = append(out, wk)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// WorkerInfo is the /v1/workers JSON view of one registered worker.
+type WorkerInfo struct {
+	ID           string `json:"id"`
+	Name         string `json:"name"`
+	URL          string `json:"url"`
+	Alive        bool   `json:"alive"`
+	LastSeenMS   int64  `json:"last_seen_ms"`
+	ShardsDone   uint64 `json:"shards_done"`
+	ShardsFailed uint64 `json:"shards_failed"`
+}
+
+// Workers lists every registered worker, alive or not, id-ordered.
+func (p *Pool) Workers() []WorkerInfo {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(p.workers))
+	for _, wk := range p.workers {
+		wk.mu.Lock()
+		out = append(out, WorkerInfo{
+			ID:           wk.id,
+			Name:         wk.name,
+			URL:          wk.url,
+			Alive:        now.Sub(wk.lastSeen) <= p.cfg.HeartbeatTimeout,
+			LastSeenMS:   now.Sub(wk.lastSeen).Milliseconds(),
+			ShardsDone:   wk.done,
+			ShardsFailed: wk.failed,
+		})
+		wk.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PoolStats is the coordinator's /metrics view.
+type PoolStats struct {
+	WorkersKnown     int
+	WorkersAlive     int
+	Heartbeats       uint64
+	Campaigns        uint64
+	ShardsDispatched uint64
+	ShardsCompleted  uint64
+	ShardsRequeued   uint64
+	ShardsLocal      uint64
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	alive := len(p.alive())
+	p.mu.Lock()
+	known := len(p.workers)
+	p.mu.Unlock()
+	return PoolStats{
+		WorkersKnown:     known,
+		WorkersAlive:     alive,
+		Heartbeats:       p.heartbeats.Load(),
+		Campaigns:        p.campaigns.Load(),
+		ShardsDispatched: p.shardsDispatched.Load(),
+		ShardsCompleted:  p.shardsCompleted.Load(),
+		ShardsRequeued:   p.shardsRequeued.Load(),
+		ShardsLocal:      p.shardsLocal.Load(),
+	}
+}
+
+// chunkQueue is the campaign's work list: chunks pop in range order,
+// failed dispatches requeue, and an exceeded abnormal budget closes the
+// queue so no further trials burn.
+type chunkQueue struct {
+	mu     sync.Mutex
+	chunks [][2]int
+	closed bool
+}
+
+func (q *chunkQueue) pop() ([2]int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.chunks) == 0 {
+		return [2]int{}, false
+	}
+	r := q.chunks[0]
+	q.chunks = q.chunks[1:]
+	return r, true
+}
+
+func (q *chunkQueue) requeue(r [2]int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.chunks = append(q.chunks, r)
+}
+
+func (q *chunkQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+}
+
+// shardRanges cuts [0, trials) into at most parts contiguous chunks of
+// at least minShard trials each (the final chunk absorbs the
+// remainder's tail).
+func shardRanges(trials, parts, minShard int) [][2]int {
+	if parts < 1 {
+		parts = 1
+	}
+	size := (trials + parts - 1) / parts
+	if size < minShard {
+		size = minShard
+	}
+	var out [][2]int
+	for start := 0; start < trials; start += size {
+		end := start + size
+		if end > trials {
+			end = trials
+		}
+		out = append(out, [2]int{start, end})
+	}
+	return out
+}
+
+// Distribute runs the campaign across the registered workers.  The
+// second return is false when no worker is alive — the caller's cue to
+// fall back to plain local execution.  Once handled, the campaign
+// always resolves here: chunks of workers that die re-dispatch to
+// survivors, and whatever remains when the last worker is gone runs
+// locally through the same shard engine, so the merged Summary is
+// bit-identical to a single-node run regardless of the loss history.
+func (p *Pool) Distribute(ctx context.Context, c faultsim.Campaign, golden *faultsim.Golden) (*faultsim.Summary, bool, error) {
+	if c.Trials < 1 {
+		return nil, false, nil
+	}
+	alive := p.alive()
+	if len(alive) == 0 {
+		return nil, false, nil
+	}
+	p.campaigns.Add(1)
+	c = c.Normalized()
+	tel := telemetry.From(ctx)
+	ctx, span := tel.Tracer().Start(ctx, "distribute",
+		telemetry.String("id", c.Identity()),
+		telemetry.Int("workers", len(alive)))
+	defer span.End()
+	log := tel.Logger()
+
+	m := faultsim.NewMerger(c, golden)
+	spec := SpecOf(c)
+	queue := &chunkQueue{chunks: shardRanges(c.Trials, len(alive)*p.cfg.ShardsPerWorker, p.cfg.MinShard)}
+	log.Info("distributing campaign", "id", c.Identity(),
+		"trials", c.Trials, "workers", len(alive), "chunks", len(queue.chunks))
+
+	var wg sync.WaitGroup
+	for _, wk := range alive {
+		wg.Add(1)
+		go func(wk *poolWorker) {
+			defer wg.Done()
+			for {
+				r, ok := queue.pop()
+				if !ok {
+					return
+				}
+				res, err := p.dispatch(ctx, wk, spec, r)
+				if err != nil {
+					// The chunk goes back for survivors (or the local
+					// tail); this worker sits out the rest of the
+					// campaign until its heartbeats prove it back.
+					queue.requeue(r)
+					p.shardsRequeued.Add(1)
+					wk.mu.Lock()
+					wk.failed++
+					wk.mu.Unlock()
+					log.Warn("shard dispatch failed, requeued",
+						"worker", wk.id, "start", r[0], "end", r[1], "err", err)
+					return
+				}
+				if err := m.Merge(res); err != nil {
+					// A result that does not merge is a protocol bug or a
+					// hostile worker; treat like a dispatch failure.
+					queue.requeue(r)
+					p.shardsRequeued.Add(1)
+					log.Warn("shard result rejected", "worker", wk.id, "err", err)
+					return
+				}
+				p.shardsCompleted.Add(1)
+				wk.mu.Lock()
+				wk.done++
+				wk.mu.Unlock()
+				if m.AbnormalExceeded() {
+					queue.close()
+					return
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+
+	// Whatever the dead left behind runs locally through the same shard
+	// engine — same per-trial RNG streams, so still bit-identical.
+	if !m.AbnormalExceeded() {
+		for {
+			r, ok := queue.pop()
+			if !ok {
+				break
+			}
+			res, err := faultsim.RunShardCtx(ctx, c, golden, r[0], r[1])
+			if err != nil {
+				return nil, true, fmt.Errorf("dist: local completion of [%d,%d): %w", r[0], r[1], err)
+			}
+			if err := m.Merge(res); err != nil {
+				return nil, true, err
+			}
+			p.shardsLocal.Add(1)
+			log.Info("completed shard locally", "start", r[0], "end", r[1])
+			if m.AbnormalExceeded() {
+				break
+			}
+		}
+	}
+	sum, err := m.Summary()
+	if err != nil {
+		return nil, true, err
+	}
+	span.SetAttr(telemetry.Attr{Key: "trials_done", Value: m.Done()})
+	return sum, true, nil
+}
+
+// dispatch POSTs one chunk to one worker and decodes the shard result.
+// A watchdog cancels the in-flight request if the worker's heartbeat
+// goes stale — a killed node whose TCP connection does not reset still
+// only delays the campaign by the heartbeat timeout.
+func (p *Pool) dispatch(ctx context.Context, wk *poolWorker, spec CampaignSpec, r [2]int) (*faultsim.ShardResult, error) {
+	p.shardsDispatched.Add(1)
+	body, err := json.Marshal(ShardRequest{Campaign: spec, Start: r[0], End: r[1]})
+	if err != nil {
+		return nil, err
+	}
+	reqCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	watchStop := make(chan struct{})
+	defer close(watchStop)
+	go func() {
+		tick := time.NewTicker(p.cfg.HeartbeatTimeout / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-watchStop:
+				return
+			case <-reqCtx.Done():
+				return
+			case now := <-tick.C:
+				if !wk.aliveAt(now, p.cfg.HeartbeatTimeout) {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, wk.url+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("dist: worker %s: %s: %s", wk.id, resp.Status, bytes.TrimSpace(msg))
+	}
+	var sr ShardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, err
+	}
+	if sr.Result == nil {
+		return nil, errors.New("dist: worker returned no shard result")
+	}
+	return sr.Result, nil
+}

@@ -1,0 +1,336 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resmod/internal/apps"
+	"resmod/internal/faultsim"
+	"resmod/internal/telemetry"
+)
+
+// Worker execution-node defaults.
+const (
+	// DefaultHeartbeatEvery is the worker→coordinator heartbeat period.
+	DefaultHeartbeatEvery = 1 * time.Second
+	// registerBackoffMax caps the re-registration retry backoff.
+	registerBackoffMax = 5 * time.Second
+)
+
+// WorkerConfig configures one execution node.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. http://host:8080).
+	Coordinator string
+	// Listen is the worker's own listen address (host:port, port 0 ok).
+	Listen string
+	// Advertise is the URL the coordinator should dial back; empty
+	// derives http://<bound address> from the listener.
+	Advertise string
+	// Name labels the worker in /v1/workers output (default: the bound
+	// address).
+	Name string
+	// Workers is the per-shard trial concurrency on this node (default
+	// GOMAXPROCS).  Trial concurrency never affects outcomes, so each
+	// node is free to size it to its own hardware.
+	Workers int
+	// HeartbeatEvery is the heartbeat period (default
+	// DefaultHeartbeatEvery).
+	HeartbeatEvery time.Duration
+}
+
+// Worker is an execution node: it registers with a coordinator,
+// heartbeats, and executes trial-range shards POSTed to /v1/shards
+// through the local faultsim engine, caching golden runs per
+// (app, class, procs).
+type Worker struct {
+	cfg    WorkerConfig
+	tel    *telemetry.Telemetry
+	client *http.Client
+
+	id atomic.Value // string: coordinator-assigned worker id
+
+	mu      sync.Mutex
+	goldens map[goldenKey]*goldenFlight
+
+	shardsDone   atomic.Uint64
+	shardsFailed atomic.Uint64
+}
+
+type goldenKey struct {
+	app   string
+	class string
+	procs int
+}
+
+type goldenFlight struct {
+	done chan struct{}
+	g    *faultsim.Golden
+	err  error
+}
+
+// NewWorker validates the config and returns a runnable worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, errors.New("dist: worker needs a coordinator URL")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	return &Worker{
+		cfg:     cfg,
+		client:  &http.Client{Timeout: 10 * time.Second},
+		goldens: make(map[goldenKey]*goldenFlight),
+	}, nil
+}
+
+// Handler returns the worker's HTTP surface: POST /v1/shards executes a
+// shard synchronously; GET /healthz reports liveness and tallies.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/shards", w.handleShard)
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]any{
+			"ok":            true,
+			"shards_done":   w.shardsDone.Load(),
+			"shards_failed": w.shardsFailed.Load(),
+		})
+	})
+	return mux
+}
+
+// Run serves shards until the context ends: bind, register (retrying
+// until the coordinator answers), heartbeat, serve.  Returns nil on a
+// clean context-driven shutdown.
+func (w *Worker) Run(ctx context.Context) error {
+	w.tel = telemetry.From(ctx)
+	ln, err := net.Listen("tcp", w.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("dist: worker listen: %w", err)
+	}
+	advertise := w.cfg.Advertise
+	if advertise == "" {
+		advertise = "http://" + ln.Addr().String()
+	}
+	name := w.cfg.Name
+	if name == "" {
+		name = ln.Addr().String()
+	}
+	log := w.tel.Logger()
+	log.Info("worker up", "listen", ln.Addr().String(),
+		"advertise", advertise, "coordinator", w.cfg.Coordinator)
+
+	srv := &http.Server{
+		Handler: w.Handler(),
+		BaseContext: func(net.Listener) context.Context {
+			// Shard executions inherit the worker's lifetime (and its
+			// telemetry), not just the request's.
+			return ctx
+		},
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeatLoop(ctx, name, advertise)
+	}()
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		return fmt.Errorf("dist: worker serve: %w", err)
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shctx)
+	<-hbDone
+	log.Info("worker down", "shards_done", w.shardsDone.Load())
+	return nil
+}
+
+// heartbeatLoop registers and then heartbeats until ctx ends,
+// re-registering (with capped backoff) whenever the coordinator stops
+// recognizing the worker — e.g. after a coordinator restart.
+func (w *Worker) heartbeatLoop(ctx context.Context, name, advertise string) {
+	log := w.tel.Logger()
+	backoff := w.cfg.HeartbeatEvery
+	for ctx.Err() == nil {
+		id, err := w.register(ctx, name, advertise)
+		if err != nil {
+			log.Warn("worker register failed", "err", err)
+			if !sleepCtx(ctx, backoff) {
+				return
+			}
+			if backoff *= 2; backoff > registerBackoffMax {
+				backoff = registerBackoffMax
+			}
+			continue
+		}
+		backoff = w.cfg.HeartbeatEvery
+		w.id.Store(id)
+		log.Info("worker registered", "id", id)
+		ticker := time.NewTicker(w.cfg.HeartbeatEvery)
+		for ctx.Err() == nil {
+			select {
+			case <-ctx.Done():
+				ticker.Stop()
+				return
+			case <-ticker.C:
+			}
+			if err := w.heartbeat(ctx, id); err != nil {
+				log.Warn("worker heartbeat rejected, re-registering", "err", err)
+				break
+			}
+		}
+		ticker.Stop()
+	}
+}
+
+func (w *Worker) register(ctx context.Context, name, advertise string) (string, error) {
+	var resp registerResponse
+	err := w.postJSON(ctx, w.cfg.Coordinator+"/v1/workers/register",
+		registerRequest{Name: name, URL: advertise}, &resp)
+	if err != nil {
+		return "", err
+	}
+	if resp.ID == "" {
+		return "", errors.New("dist: coordinator returned empty worker id")
+	}
+	return resp.ID, nil
+}
+
+func (w *Worker) heartbeat(ctx context.Context, id string) error {
+	return w.postJSON(ctx, w.cfg.Coordinator+"/v1/workers/heartbeat",
+		heartbeatRequest{ID: id}, nil)
+}
+
+func (w *Worker) postJSON(ctx context.Context, url string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("dist: %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// handleShard executes one dispatched trial range.  The request context
+// is the cancellation lever: a coordinator that abandons the dispatch
+// (worker presumed dead, campaign canceled) tears down the shard's
+// trials through the same plumbing as a local SIGINT.
+func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(rw, http.StatusBadRequest, errorResponse{Error: "bad shard request: " + err.Error()})
+		return
+	}
+	c, err := req.Campaign.Campaign()
+	if err != nil {
+		writeJSON(rw, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	c.Workers = w.cfg.Workers
+	golden, err := w.golden(r.Context(), c.App, c.Class, c.Procs, c.Timeout)
+	if err != nil {
+		w.shardsFailed.Add(1)
+		writeJSON(rw, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	t0 := time.Now()
+	res, err := faultsim.RunShardCtx(r.Context(), c, golden, req.Start, req.End)
+	if err != nil {
+		w.shardsFailed.Add(1)
+		writeJSON(rw, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	w.shardsDone.Add(1)
+	id := ""
+	if v := w.id.Load(); v != nil {
+		id = v.(string)
+	}
+	writeJSON(rw, http.StatusOK, ShardResponse{
+		Worker:    id,
+		Result:    res,
+		ElapsedNS: time.Since(t0).Nanoseconds(),
+	})
+}
+
+// golden returns the (app, class, procs) reference run, computing it at
+// most once per key even under concurrent shard requests.
+func (w *Worker) golden(ctx context.Context, app apps.App, class string, procs int, timeout time.Duration) (*faultsim.Golden, error) {
+	if class == "" {
+		class = app.DefaultClass()
+	}
+	key := goldenKey{app: app.Name(), class: class, procs: procs}
+	w.mu.Lock()
+	f := w.goldens[key]
+	if f == nil {
+		f = &goldenFlight{done: make(chan struct{})}
+		w.goldens[key] = f
+		w.mu.Unlock()
+		f.g, f.err = faultsim.ComputeGoldenCtx(ctx, app, class, procs, timeout)
+		if f.err != nil {
+			// Clear the slot so a later shard can retry.
+			w.mu.Lock()
+			delete(w.goldens, key)
+			w.mu.Unlock()
+		}
+		close(f.done)
+	} else {
+		w.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return f.g, f.err
+}
+
+// writeJSON writes a JSON response body with the given status.
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(v)
+}
+
+// sleepCtx sleeps d or until ctx ends; reports whether ctx is still
+// live.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

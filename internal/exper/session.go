@@ -67,6 +67,16 @@ type Config struct {
 	// prediction service wires internal/store here, making identical
 	// campaigns compute once ever rather than once per process.
 	Cache SummaryCache
+	// Distribute, when non-nil, is the distributed-execution hook: given
+	// a campaign (cache-missed, slot-held) and its golden, it may execute
+	// the campaign elsewhere — e.g. sharded across the dist pool's worker
+	// nodes — and return (summary, true, err).  Returning handled=false
+	// (no workers registered) falls back to plain local execution.  The
+	// hook must preserve the engine's determinism contract: the summary
+	// for a campaign identity is bit-identical however it was executed,
+	// which is what lets distributed results share the durable Cache and
+	// checkpoint keyspace with local runs.
+	Distribute func(ctx context.Context, c faultsim.Campaign, golden *faultsim.Golden) (*faultsim.Summary, bool, error)
 	// OnCampaign, when non-nil, is called once for every campaign the
 	// session actually executes, with its identity key and summary.
 	// Cache hits — the in-process singleflight or the durable Cache —
@@ -336,13 +346,25 @@ func (s *Session) runCampaign(ctx context.Context, key string, c faultsim.Campai
 	if err != nil {
 		return nil, err
 	}
-	sum, err := faultsim.RunAgainstCtx(ctx, c, golden)
-	if err != nil {
-		return nil, fmt.Errorf("exper: campaign %s: %w", key, err)
+	var sum *faultsim.Summary
+	if s.cfg.Distribute != nil {
+		dsum, handled, derr := s.cfg.Distribute(ctx, c, golden)
+		if handled {
+			if derr != nil {
+				return nil, fmt.Errorf("exper: campaign %s: %w", key, derr)
+			}
+			sum = dsum
+		}
 	}
-	if sum.Interrupted {
-		return sum, fmt.Errorf("exper: campaign %s interrupted after %d/%d trials",
-			key, sum.TrialsDone, s.cfg.Trials)
+	if sum == nil {
+		sum, err = faultsim.RunAgainstCtx(ctx, c, golden)
+		if err != nil {
+			return nil, fmt.Errorf("exper: campaign %s: %w", key, err)
+		}
+		if sum.Interrupted {
+			return sum, fmt.Errorf("exper: campaign %s interrupted after %d/%d trials",
+				key, sum.TrialsDone, s.cfg.Trials)
+		}
 	}
 	if s.cfg.OnCampaign != nil {
 		s.cfg.OnCampaign(key, sum)

@@ -1,0 +1,388 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"time"
+
+	"resmod/internal/apps"
+	"resmod/internal/stats"
+	"resmod/internal/telemetry"
+)
+
+// Shard execution: the distributed tier's unit of work.  A shard is a
+// contiguous trial range [Start, End) of one campaign, executed in
+// isolation (typically on another process) and returned as partial
+// tallies.  Because every trial's RNG stream is split from the campaign
+// seed by the *global* trial index — never by shard index or worker
+// identity — the union of any disjoint shard cover of [0, Trials) merges
+// into a Summary bit-identical to a single-node run, whatever the worker
+// count, dispatch order or re-shard history.  The partial-tally carrier
+// is the PR 1 Checkpoint: the same bitmap-plus-commutative-counts
+// snapshot that makes resume bit-identical makes shard merging
+// bit-identical.
+
+// AbnormalTrial is one trial a shard abandoned after exhausting its
+// retries — reported alongside the tallies so the coordinator can apply
+// the campaign-wide MaxAbnormal budget with the same lowest-trial-index
+// error reporting as a local run.
+type AbnormalTrial struct {
+	// Trial is the global trial index.
+	Trial int
+	// Err is the rendered harness error (errors do not survive JSON).
+	Err string
+}
+
+// ShardResult is one executed shard's outcome: the partial tallies as a
+// Checkpoint (Done bits exactly the shard's completed trials) plus the
+// abnormal trials the shard abandoned.  The type is JSON-serializable —
+// it is the wire payload a remote worker streams back.
+type ShardResult struct {
+	// Start and End echo the executed range.
+	Start int
+	End   int
+	// Checkpoint holds the shard's tallies over the full campaign's
+	// bitmap width, so merging is a plain bitwise OR plus count sums.
+	Checkpoint *Checkpoint
+	// Abnormal lists the trials abandoned after retries, if any.
+	Abnormal []AbnormalTrial `json:",omitempty"`
+}
+
+// RunShardCtx executes trials [start, end) of the campaign against a
+// precomputed golden and returns the shard's partial tallies.  The
+// campaign is normalized exactly like RunAgainstCtx, so the embedded
+// identity matches the coordinator's; per-trial RNG streams are split
+// from Campaign.Seed by global trial index, so the result is independent
+// of how [0, Trials) was cut into shards.  Cancellation (or an exhausted
+// Budget) aborts the shard with an error — a half-executed shard is the
+// dispatcher's to retry, never to merge.
+func RunShardCtx(ctx context.Context, c Campaign, golden *Golden, start, end int) (*ShardResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.App == nil {
+		c.App = golden.App
+	}
+	if c.Class == "" {
+		c.Class = golden.Class
+	}
+	if golden.Procs != c.Procs {
+		return nil, fmt.Errorf("faultsim: golden has %d procs, shard campaign wants %d",
+			golden.Procs, c.Procs)
+	}
+	if c.Trials < 1 {
+		return nil, fmt.Errorf("faultsim: invalid Trials %d", c.Trials)
+	}
+	if start < 0 || end > c.Trials || start >= end {
+		return nil, fmt.Errorf("faultsim: shard [%d,%d) outside campaign trials [0,%d)",
+			start, end, c.Trials)
+	}
+	if c.Errors < 1 {
+		c.Errors = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = apps.DefaultTimeout
+	}
+	if c.ContaminationTol == 0 {
+		c.ContaminationTol = DefaultContaminationTol
+	}
+	if c.AbnormalRetries == 0 {
+		c.AbnormalRetries = DefaultAbnormalRetries
+	}
+	if c.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Budget)
+		defer cancel()
+	}
+	ctx, abort := context.WithCancel(ctx)
+	defer abort()
+
+	identity := c.Identity()
+	tel := telemetry.From(ctx)
+	ctx, span := tel.Tracer().Start(ctx, "shard",
+		telemetry.String("id", identity),
+		telemetry.Int("start", start), telemetry.Int("end", end),
+		telemetry.Int("workers", c.Workers))
+	defer span.End()
+
+	// The aggregate spans the whole campaign's bitmap width so the
+	// snapshot merges positionally; only [start, end) bits ever set.
+	agg := newAggregate(c.Procs, c.Trials)
+	base := stats.NewRNG(c.Seed)
+	sink := tel.Sink()
+	var wg sync.WaitGroup
+	for w := 0; w < c.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for t := start + w; t < end; t += c.Workers {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := c.Pool.Acquire(ctx); err != nil {
+					return
+				}
+				t0 := time.Now()
+				rec, err := runTrialResilient(ctx, c, golden, base, t, sink, agg)
+				c.Pool.Release()
+				if err != nil {
+					if isInterruption(err) {
+						return
+					}
+					sink.TrialAbnormal()
+					if agg.recordAbnormal(t, err) > c.MaxAbnormal {
+						// The shard alone already blows the campaign-wide
+						// budget; stop burning trials, let the coordinator
+						// fail the campaign from the reported list.
+						abort()
+						return
+					}
+					continue
+				}
+				agg.record(t, rec)
+				sink.TrialDone(rec.Outcome.String(), time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &ShardResult{Start: start, End: end, Checkpoint: agg.snapshot(identity)}
+	for _, te := range agg.abnormalTrials() {
+		res.Abnormal = append(res.Abnormal, AbnormalTrial{Trial: te.trial, Err: te.err.Error()})
+	}
+	// A shard that blew the abnormal budget on its own returns its partial
+	// result — the coordinator applies the campaign-wide budget and fails
+	// the campaign with the same lowest-trial-index error a local run
+	// reports.  Any other incompleteness is an interruption: the shard
+	// must not be merged, only retried.
+	if len(res.Abnormal) <= c.MaxAbnormal &&
+		res.Checkpoint.Completed+uint64(len(res.Abnormal)) < uint64(end-start) {
+		return nil, fmt.Errorf("faultsim: shard [%d,%d) interrupted after %d trials: %w",
+			start, end, res.Checkpoint.Completed, context.Cause(ctx))
+	}
+	span.SetAttr(telemetry.Attr{Key: "trials_done", Value: res.Checkpoint.Completed})
+	return res, nil
+}
+
+// abnormalTrials snapshots the abnormal-trial list in deterministic
+// (ascending trial index) order.
+func (a *aggregate) abnormalTrials() []trialError {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := append([]trialError(nil), a.abnormal...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].trial < out[j-1].trial; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// mergeDisjoint folds a shard snapshot into the aggregate after
+// validating that it belongs to this campaign, is internally consistent,
+// and covers no trial already merged.  All tallies are commutative
+// integer counts, so merge order cannot affect the final Summary.
+func (a *aggregate) mergeDisjoint(ck *Checkpoint, identity string) error {
+	if ck == nil {
+		return fmt.Errorf("%w: nil shard snapshot", ErrCheckpointMismatch)
+	}
+	if ck.Version != CheckpointVersion {
+		return fmt.Errorf("%w: snapshot version %d, want %d",
+			ErrCheckpointMismatch, ck.Version, CheckpointVersion)
+	}
+	if ck.Identity != identity {
+		return fmt.Errorf("%w: snapshot is of %q, campaign is %q",
+			ErrCheckpointMismatch, ck.Identity, identity)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ck.Trials != a.trials || len(ck.Done) != len(a.done) ||
+		len(ck.Hist) != len(a.hist) || len(ck.Spread) != len(a.spread) {
+		return fmt.Errorf("%w: snapshot shape does not fit the campaign", ErrCheckpointMismatch)
+	}
+	var pop uint64
+	for i, w := range ck.Done {
+		if a.done[i]&w != 0 {
+			return fmt.Errorf("%w: shard overlaps already-merged trials", ErrCheckpointMismatch)
+		}
+		pop += uint64(bits.OnesCount64(w))
+	}
+	if pop != ck.Completed || ck.Success+ck.SDC+ck.Failure != ck.Completed {
+		return fmt.Errorf("%w: snapshot tallies are inconsistent (%d done bits, %d completed)",
+			ErrCheckpointMismatch, pop, ck.Completed)
+	}
+	for i, w := range ck.Done {
+		a.done[i] |= w
+	}
+	a.completed += ck.Completed
+	a.counter.Success += ck.Success
+	a.counter.SDC += ck.SDC
+	a.counter.Failure += ck.Failure
+	for i, n := range ck.Hist {
+		a.hist[i] += n
+	}
+	for i, n := range ck.Spread {
+		a.spread[i] += n
+	}
+	a.fired += ck.Fired
+	for x, bc := range ck.ByContamination {
+		dst := a.byCont[x]
+		if dst == nil {
+			dst = &stats.Counter{}
+			a.byCont[x] = dst
+		}
+		dst.Success += bc.Success
+		dst.SDC += bc.SDC
+		dst.Failure += bc.Failure
+	}
+	return nil
+}
+
+// Merger accumulates disjoint shard results of one campaign into the
+// Summary a single-node run would have produced.  It is safe for
+// concurrent Merge calls (dispatchers merge as shards land).
+type Merger struct {
+	identity string
+	trials   int
+	maxAbn   int
+	golden   *Golden
+	start    time.Time
+
+	mu  sync.Mutex
+	agg *aggregate
+	// accounted marks trials that need no further dispatch: completed
+	// ones (the aggregate's done bits) plus abnormal ones, which a local
+	// run likewise excludes from the tallies rather than re-running.
+	accounted []uint64
+}
+
+// NewMerger prepares a merger for the campaign (normalized first, so the
+// identity matches what RunShardCtx embeds in its snapshots).
+func NewMerger(c Campaign, golden *Golden) *Merger {
+	c = c.Normalized()
+	return &Merger{
+		identity:  c.Identity(),
+		trials:    c.Trials,
+		maxAbn:    c.MaxAbnormal,
+		golden:    golden,
+		start:     time.Now(),
+		agg:       newAggregate(c.Procs, c.Trials),
+		accounted: make([]uint64, (c.Trials+63)/64),
+	}
+}
+
+// Identity returns the campaign identity shards must carry.
+func (m *Merger) Identity() string { return m.identity }
+
+// Merge folds one shard result in.  A shard whose tallies overlap an
+// already-merged trial, or that belongs to a different campaign, is
+// rejected — the dispatcher bug surfaces instead of corrupting counts.
+func (m *Merger) Merge(res *ShardResult) error {
+	if res == nil || res.Checkpoint == nil {
+		return fmt.Errorf("%w: nil shard result", ErrCheckpointMismatch)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.agg.mergeDisjoint(res.Checkpoint, m.identity); err != nil {
+		return err
+	}
+	for i, w := range res.Checkpoint.Done {
+		m.accounted[i] |= w
+	}
+	for _, ab := range res.Abnormal {
+		if ab.Trial < 0 || ab.Trial >= m.trials {
+			return fmt.Errorf("%w: abnormal trial %d outside campaign", ErrCheckpointMismatch, ab.Trial)
+		}
+		m.agg.recordAbnormal(ab.Trial, errors.New(ab.Err))
+		m.accounted[ab.Trial/64] |= 1 << (ab.Trial % 64)
+	}
+	return nil
+}
+
+// AbnormalExceeded reports whether the merged abnormal trials already
+// blow the campaign's MaxAbnormal budget — the dispatcher's cue to stop
+// dispatching and fail the campaign via Summary's deterministic error.
+func (m *Merger) AbnormalExceeded() bool {
+	m.agg.mu.Lock()
+	defer m.agg.mu.Unlock()
+	return len(m.agg.abnormal) > m.maxAbn
+}
+
+// Done returns how many trials are tallied so far.
+func (m *Merger) Done() uint64 {
+	return m.agg.doneCount()
+}
+
+// Complete reports whether every trial is accounted for (tallied or
+// abandoned as abnormal).
+func (m *Merger) Complete() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.completeLocked()
+}
+
+func (m *Merger) completeLocked() bool {
+	for t := 0; t < m.trials; t += 64 {
+		want := ^uint64(0)
+		if m.trials-t < 64 {
+			want = (uint64(1) << (m.trials - t)) - 1
+		}
+		if m.accounted[t/64]&want != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Missing returns the maximal contiguous unaccounted trial ranges within
+// [start, end) — the re-dispatch list after a shard is lost.
+func (m *Merger) Missing(start, end int) [][2]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out [][2]int
+	runStart := -1
+	for t := start; t < end; t++ {
+		if m.accounted[t/64]&(1<<(t%64)) == 0 {
+			if runStart < 0 {
+				runStart = t
+			}
+			continue
+		}
+		if runStart >= 0 {
+			out = append(out, [2]int{runStart, t})
+			runStart = -1
+		}
+	}
+	if runStart >= 0 {
+		out = append(out, [2]int{runStart, end})
+	}
+	return out
+}
+
+// Summary builds the merged campaign Summary.  Incomplete coverage or an
+// exceeded abnormal budget is an error, with the same deterministic
+// lowest-trial-index reporting as a local run; the result is otherwise
+// bit-identical (Elapsed aside, which is wall time by definition) to
+// RunAgainstCtx over the full range.
+func (m *Merger) Summary() (*Summary, error) {
+	m.mu.Lock()
+	complete := m.completeLocked()
+	m.mu.Unlock()
+	if err := m.agg.fatalError(m.maxAbn); err != nil {
+		return nil, err
+	}
+	if !complete {
+		return nil, fmt.Errorf("faultsim: merged shards cover %d of %d trials",
+			m.agg.doneCount(), m.trials)
+	}
+	sum := m.agg.summary(m.golden)
+	sum.Elapsed = time.Since(m.start)
+	return sum, nil
+}

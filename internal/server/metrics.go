@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"resmod/internal/dist"
 	"resmod/internal/exper"
 	"resmod/internal/store"
 	"resmod/internal/telemetry"
@@ -187,7 +188,8 @@ func (m *metrics) request(method, route string, code int) {
 // server-wide bus's latest snapshot per key (campaign-kind entries
 // become per-campaign gauge series).
 func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats, engine telemetry.Snapshot,
-	sched exper.SchedulerStats, progress []telemetry.ProgressEvent, tenantInflight []tenantGauge) {
+	sched exper.SchedulerStats, progress []telemetry.ProgressEvent, tenantInflight []tenantGauge,
+	distStats *dist.PoolStats) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -358,6 +360,32 @@ func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats, en
 	fmt.Fprintf(w, "# TYPE resmod_queue_wait_seconds histogram\n")
 	for _, n := range names {
 		m.tenant(n).queueWait.writeLabeled(w, "resmod_queue_wait_seconds", fmt.Sprintf("tenant=%q", n))
+	}
+
+	// Coordinator (distributed execution) families; absent on plain
+	// servers, like the store families.
+	if distStats != nil {
+		gauge("resmod_dist_workers_known",
+			"Workers ever registered with this coordinator.",
+			float64(distStats.WorkersKnown))
+		gauge("resmod_dist_workers_alive",
+			"Registered workers with a fresh heartbeat.",
+			float64(distStats.WorkersAlive))
+		counter("resmod_dist_heartbeats_total",
+			"Worker heartbeats accepted.", distStats.Heartbeats)
+		counter("resmod_dist_campaigns_total",
+			"Campaigns routed through the distributed pool.", distStats.Campaigns)
+		counter("resmod_dist_shards_dispatched_total",
+			"Shard dispatches attempted (includes re-dispatches).",
+			distStats.ShardsDispatched)
+		counter("resmod_dist_shards_completed_total",
+			"Shards completed by workers and merged.", distStats.ShardsCompleted)
+		counter("resmod_dist_shards_requeued_total",
+			"Shards requeued after a worker died or answered garbage.",
+			distStats.ShardsRequeued)
+		counter("resmod_dist_shards_local_total",
+			"Shards the coordinator finished locally after worker loss.",
+			distStats.ShardsLocal)
 	}
 
 	if storeStats != nil {

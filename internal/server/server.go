@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"resmod/internal/apps"
+	"resmod/internal/dist"
 	"resmod/internal/exper"
 	"resmod/internal/faultsim"
 	"resmod/internal/store"
@@ -72,6 +73,13 @@ type Config struct {
 	// Store, when non-nil, persists campaign summaries and prediction
 	// rows so identical work is computed once ever.
 	Store *store.Store
+	// DistPool, when non-nil, makes this server a coordinator: campaigns
+	// are sharded across the pool's registered workers (falling back to
+	// local execution while none are alive), and the worker control
+	// plane (/v1/workers/register, /v1/workers/heartbeat) is mounted.
+	// GET /v1/workers is served either way, answering coordinator:false
+	// on plain servers.
+	DistPool *dist.Pool
 	// APIKeys maps API keys (sent as X-API-Key or Authorization: Bearer)
 	// to tenant names.  Requests with no key run as the anonymous tier;
 	// requests with an unknown key are refused with 401.
@@ -165,6 +173,9 @@ func New(cfg Config) *Server {
 	if cfg.Store != nil {
 		sessCfg.Cache = store.CampaignCache{Store: cfg.Store}
 	}
+	if cfg.DistPool != nil {
+		sessCfg.Distribute = cfg.DistPool.Distribute
+	}
 	s.session = exper.NewSession(sessCfg)
 
 	mux := http.NewServeMux()
@@ -175,6 +186,13 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /v1/predictions", s.instrument("/v1/predictions", s.handleList))
 	mux.Handle("GET /v1/status", s.instrument("/v1/status", s.handleStatus))
 	mux.Handle("GET /v1/apps", s.instrument("/v1/apps", s.handleApps))
+	mux.Handle("GET /v1/workers", s.instrument("/v1/workers", s.handleWorkers))
+	if cfg.DistPool != nil {
+		mux.Handle("POST /v1/workers/register",
+			s.instrument("/v1/workers/register", cfg.DistPool.HandleRegister))
+		mux.Handle("POST /v1/workers/heartbeat",
+			s.instrument("/v1/workers/heartbeat", cfg.DistPool.HandleHeartbeat))
+	}
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux = mux
@@ -642,6 +660,21 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"apps": infos})
 }
 
+// handleWorkers is GET /v1/workers: the distributed-execution registry
+// view.  On a non-coordinator server it answers coordinator:false with
+// an empty worker list, so load harnesses can probe any instance.
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.DistPool == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"coordinator": false,
+			"alive":       0,
+			"workers":     []dist.WorkerInfo{},
+		})
+		return
+	}
+	s.cfg.DistPool.HandleWorkers(w, r)
+}
+
 // handleHealthz is GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
@@ -664,8 +697,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.cfg.Store.Stats()
 		storeStats = &st
 	}
+	var distStats *dist.PoolStats
+	if s.cfg.DistPool != nil {
+		ds := s.cfg.DistPool.Stats()
+		distStats = &ds
+	}
 	s.metrics.write(w, s.queue.depth(), storeStats, s.recorder.Snapshot(),
-		s.session.SchedulerStats(), s.progress.Latest(), s.tenants.inflightSnapshot())
+		s.session.SchedulerStats(), s.progress.Latest(), s.tenants.inflightSnapshot(),
+		distStats)
 }
 
 // ---- prediction store ------------------------------------------------------

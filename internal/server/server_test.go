@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"resmod/internal/dist"
 	"resmod/internal/store"
 
 	_ "resmod/internal/apps/cg"
@@ -467,5 +468,60 @@ func TestForcedDrainCancelsInflight(t *testing.T) {
 	_, v = getJSON(t, hs.URL+"/v1/predictions/"+id)
 	if v["status"] != StatusCanceled && v["status"] != StatusFailed {
 		t.Fatalf("interrupted job status %v", v["status"])
+	}
+}
+
+// TestWorkersEndpoint: /v1/workers answers on every server —
+// coordinator:false on a plain one, the registry view (register +
+// heartbeat reflected) on a coordinator.  A distributed prediction run
+// end-to-end lives in internal/dist and scripts/distcheck.sh.
+func TestWorkersEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, nil, 1, 4)
+	_, v := getJSON(t, hs.URL+"/v1/workers")
+	if v["coordinator"] != false {
+		t.Fatalf("plain server /v1/workers = %v, want coordinator:false", v)
+	}
+
+	pool := dist.NewPool(dist.PoolConfig{HeartbeatTimeout: time.Second})
+	srv := New(Config{Trials: 10, Seed: 42, Workers: 1, Queue: 4, DistPool: pool})
+	hs2 := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+	})
+	code, reg := postJSON(t, hs2.URL+"/v1/workers/register",
+		`{"name":"w-test","url":"http://127.0.0.1:1"}`)
+	if code != http.StatusOK || reg["id"] == "" {
+		t.Fatalf("register = %d %v", code, reg)
+	}
+	code, _ = postJSON(t, hs2.URL+"/v1/workers/heartbeat",
+		`{"id":"`+reg["id"].(string)+`"}`)
+	if code != http.StatusOK {
+		t.Fatalf("heartbeat = %d", code)
+	}
+	_, view := getJSON(t, hs2.URL+"/v1/workers")
+	if view["coordinator"] != true || view["alive"] != float64(1) {
+		t.Fatalf("coordinator /v1/workers = %v, want coordinator:true alive:1", view)
+	}
+	// The dist metric families appear on coordinators.
+	resp, err := http.Get(hs2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"resmod_dist_workers_alive 1",
+		"resmod_dist_heartbeats_total 1",
+		"resmod_dist_shards_dispatched_total 0",
+	} {
+		if !strings.Contains(buf.String(), family) {
+			t.Errorf("/metrics missing %q", family)
+		}
 	}
 }

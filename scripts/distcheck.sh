@@ -1,0 +1,194 @@
+#!/usr/bin/env bash
+# Distributed-execution check for `resmod serve -coordinator` + `resmod
+# worker`: boots a coordinator with two worker processes, runs a
+# prediction through the sharded HTTP path, SIGKILLs one worker while
+# shards are in flight, and asserts the job still completes with a
+# result byte-identical (wall-time fields excluded) to a plain
+# single-node run.  Also checks the worker roster endpoint and the
+# resmod_dist_* metric families.  The JSON report lands in DISTCHECK_OUT
+# (default distcheck.json) so CI can archive it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out=${DISTCHECK_OUT:-distcheck.json}
+trials=${DISTCHECK_TRIALS:-120}
+workdir=$(mktemp -d)
+pid=
+w1pid=
+w2pid=
+log=
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    [ -n "$w1pid" ] && kill "$w1pid" 2>/dev/null
+    [ -n "$w2pid" ] && kill "$w2pid" 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "distcheck: FAIL: $*" >&2
+    for f in "$workdir"/*.log; do
+        echo "--- $f ---" >&2
+        cat "$f" >&2 || true
+    done
+    exit 1
+}
+
+# boot NAME [extra serve flags...]: start the service on an ephemeral
+# port and wait for /healthz; sets $pid, $log, $addr.
+boot() {
+    log="$workdir/$1.log"
+    store="$workdir/store-$1"
+    shift
+    "$workdir/resmod" serve -listen 127.0.0.1:0 -store "$store" \
+        -trials "$trials" -workers 1 -drain 30s "$@" 2>"$log" &
+    pid=$!
+    addr=
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's#.*serving on http://\([^ ]*\).*#\1#p' "$log" | head -n1)
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || fail "server exited before binding"
+        sleep 0.1
+    done
+    [ -n "$addr" ] || fail "server never logged its address"
+    curl -fsS "http://$addr/healthz" >/dev/null || fail "/healthz"
+}
+
+shutdown() {
+    kill -TERM "$pid"
+    wait "$pid" || fail "non-zero exit after SIGTERM"
+    pid=
+}
+
+# predict ADDR OUTFILE: submit the fixed prediction and poll it to done,
+# writing the final job JSON to OUTFILE.
+body='{"app":"PENNANT","small":4,"large":8}'
+predict() {
+    local a=$1 file=$2 id status
+    id=$(curl -fsS -X POST "http://$a/v1/predictions" -d "$body" |
+        sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p') || true
+    [ -n "$id" ] || fail "submit returned no job id"
+    echo "$id" >"$workdir/last-job-id"
+    status=
+    for _ in $(seq 1 1200); do
+        curl -fsS "http://$a/v1/predictions/$id" >"$file" || true
+        status=$(sed -n 's/.*"status": "\([a-z]*\)".*/\1/p' "$file" | head -n1)
+        [ "$status" = done ] && return 0
+        { [ "$status" = failed ] || [ "$status" = canceled ]; } &&
+            fail "job ended $status: $(cat "$file")"
+        sleep 0.2
+    done
+    fail "job stuck in '$status'"
+}
+
+go build -o "$workdir/resmod" ./cmd/resmod
+
+# --- baseline: plain single-node run -------------------------------------
+boot local
+# Plain servers must still answer the roster endpoint, as a non-coordinator.
+curl -fsS "http://$addr/v1/workers" | grep -q '"coordinator": \?false' ||
+    fail "plain server /v1/workers did not report coordinator: false"
+predict "$addr" "$workdir/job-local.json"
+shutdown
+
+# --- distributed: coordinator + two workers, one killed mid-run ----------
+boot coord -coordinator -heartbeat-timeout 2s
+coord_addr=$addr
+
+"$workdir/resmod" worker -coordinator "http://$coord_addr" \
+    -name w-alpha -heartbeat 250ms 2>"$workdir/w1.log" &
+w1pid=$!
+disown "$w1pid"
+"$workdir/resmod" worker -coordinator "http://$coord_addr" \
+    -name w-beta -heartbeat 250ms 2>"$workdir/w2.log" &
+w2pid=$!
+disown "$w2pid"
+for _ in $(seq 1 100); do
+    curl -fsS "http://$coord_addr/v1/workers" | grep -q '"alive": \?2\b' && break
+    kill -0 "$w1pid" 2>/dev/null || fail "worker 1 exited before registering"
+    kill -0 "$w2pid" 2>/dev/null || fail "worker 2 exited before registering"
+    sleep 0.1
+done
+curl -fsS "http://$coord_addr/v1/workers" | grep -q '"coordinator": \?true' ||
+    fail "coordinator /v1/workers did not report coordinator: true"
+curl -fsS "http://$coord_addr/v1/workers" | grep -q '"alive": \?2\b' ||
+    fail "two workers never became alive"
+
+# Kill one worker as soon as shards are actually in flight; the
+# coordinator must requeue its unfinished ranges onto the survivor (or
+# run them locally) and the job must still complete.
+(
+    for _ in $(seq 1 1200); do
+        n=$(curl -fsS "http://$coord_addr/metrics" |
+            awk '/^resmod_dist_shards_dispatched_total / {print $2}')
+        if [ -n "$n" ] && [ "$n" -ge 1 ]; then
+            kill -KILL "$w1pid" 2>/dev/null
+            exit 0
+        fi
+        sleep 0.1
+    done
+    exit 1
+) &
+killer=$!
+predict "$coord_addr" "$workdir/job-dist.json"
+wait "$killer" || fail "no shard was ever dispatched — distributed path unused"
+
+metrics=$(curl -fsS "http://$coord_addr/metrics")
+dispatched=$(echo "$metrics" | awk '/^resmod_dist_shards_dispatched_total / {print $2}')
+completed=$(echo "$metrics" | awk '/^resmod_dist_shards_completed_total / {print $2}')
+requeued=$(echo "$metrics" | awk '/^resmod_dist_shards_requeued_total / {print $2}')
+localn=$(echo "$metrics" | awk '/^resmod_dist_shards_local_total / {print $2}')
+[ -n "$dispatched" ] && [ "$dispatched" -ge 1 ] ||
+    fail "resmod_dist_shards_dispatched_total missing or zero"
+[ -n "$completed" ] && [ "$completed" -ge 1 ] ||
+    fail "no shard completed over the distributed path"
+echo "$metrics" | grep -q '^resmod_dist_workers_known 2$' ||
+    fail "coordinator does not know 2 workers"
+
+# The distributed result (after losing a worker mid-run) must match the
+# single-node baseline exactly, wall-time fields aside.
+python3 - "$workdir/job-local.json" "$workdir/job-dist.json" <<'EOF' ||
+import json, sys
+
+def result(path):
+    with open(path) as f:
+        job = json.load(f)
+    row = job["result"]
+    for k in ("SmallTime", "SerialTime"):
+        row.pop(k, None)
+    return row
+
+a, b = result(sys.argv[1]), result(sys.argv[2])
+if a != b:
+    print("distributed result differs from local baseline:", file=sys.stderr)
+    print("local: " + json.dumps(a, sort_keys=True), file=sys.stderr)
+    print("dist:  " + json.dumps(b, sort_keys=True), file=sys.stderr)
+    sys.exit(1)
+EOF
+    fail "distributed result != local baseline"
+
+python3 - "$workdir/job-local.json" "$workdir/job-dist.json" \
+    "${dispatched:-0}" "${completed:-0}" "${requeued:-0}" "${localn:-0}" >"$out" <<'EOF'
+import json, sys
+local = json.load(open(sys.argv[1]))
+dist = json.load(open(sys.argv[2]))
+print(json.dumps({
+    "check": "distcheck",
+    "identical": True,
+    "local_elapsed_ms": local.get("elapsed_ms", 0),
+    "dist_elapsed_ms": dist.get("elapsed_ms", 0),
+    "shards_dispatched": int(float(sys.argv[3])),
+    "shards_completed": int(float(sys.argv[4])),
+    "shards_requeued": int(float(sys.argv[5])),
+    "shards_local": int(float(sys.argv[6])),
+}, indent=2))
+EOF
+
+shutdown
+kill "$w2pid" 2>/dev/null || true
+w1pid=
+w2pid=
+
+echo "distcheck: OK (2 workers, 1 killed mid-run: $dispatched dispatched," \
+    "$completed completed, ${requeued:-0} requeued, ${localn:-0} local;" \
+    "result identical to single-node; report in $out)"
