@@ -236,6 +236,8 @@ service:     serve -listen HOST:PORT -store DIR -workers N -queue N -drain D
              -heartbeat-timeout D -shards-per-worker N (coordinator tuning)
 worker:      worker -coordinator URL -listen HOST:PORT -advertise URL
              -name NAME -campaign-workers N -heartbeat D
+             -pprof-addr HOST:PORT (optional net/http/pprof listener;
+             shard endpoint also serves GET /metrics)
 loadgen:     loadgen -target URL -clients N -duration D -mix predict=60,get=25,...
              -keys KEY,... -priorities normal=80,... -retries N -out FILE
              -fail-on-5xx (non-zero exit on any 5xx other than a drain 503)

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// startPprof opens a net/http/pprof listener on its own address so
+// profiling access never shares a service port.  An empty addr is a
+// no-op.  The returned stop function closes the listener; it is always
+// safe to call.
+func startPprof(addr string, log *slog.Logger) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return func() {}, fmt.Errorf("pprof: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	log.Info(fmt.Sprintf("pprof listening on http://%s/debug/pprof/", ln.Addr()))
+	return func() { ln.Close() }, nil
+}

@@ -6,8 +6,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -297,26 +295,14 @@ func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
 		})
 	}
 
-	// The pprof endpoints live on their own listener (off by default) so
-	// profiling access never shares the service port.
-	if o.pprofAddr != "" {
-		pln, err := net.Listen("tcp", o.pprofAddr)
-		if err != nil {
-			return fmt.Errorf("serve: pprof: %w", err)
-		}
-		defer pln.Close()
-		pmux := http.NewServeMux()
-		pmux.HandleFunc("/debug/pprof/", pprof.Index)
-		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		go func() { _ = http.Serve(pln, pmux) }()
-		rt.tel.Logger().Info(fmt.Sprintf("pprof listening on http://%s/debug/pprof/", pln.Addr()))
+	stopPprof, err := startPprof(o.pprofAddr, rt.tel.Logger())
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
+	defer stopPprof()
 
 	srv := server.New(cfg)
-	err := srv.ListenAndServe(ctx, o.listen, o.drain)
+	err = srv.ListenAndServe(ctx, o.listen, o.drain)
 	if ferr := rt.finish(errw); ferr != nil && err == nil {
 		err = ferr
 	}

@@ -19,6 +19,7 @@ type workerOptions struct {
 	name            string
 	campaignWorkers int
 	heartbeat       time.Duration
+	pprofAddr       string
 	tf              telFlags
 }
 
@@ -37,6 +38,11 @@ func (o workerOptions) validate() error {
 	}
 	if o.heartbeat <= 0 {
 		return fmt.Errorf("-heartbeat must be positive, got %v", o.heartbeat)
+	}
+	if o.pprofAddr != "" {
+		if err := validListenAddr("-pprof-addr", o.pprofAddr); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -59,6 +65,7 @@ func doWorker(ctx context.Context, args []string, out, errw io.Writer) error {
 		"trial-level concurrency per shard (default GOMAXPROCS)")
 	fs.DurationVar(&o.heartbeat, "heartbeat", dist.DefaultHeartbeatEvery,
 		"heartbeat period to the coordinator")
+	fs.StringVar(&o.pprofAddr, "pprof-addr", "", "host:port for a net/http/pprof listener (empty: disabled)")
 	o.tf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +89,12 @@ func doWorker(ctx context.Context, args []string, out, errw io.Writer) error {
 		return fmt.Errorf("worker: %w", err)
 	}
 	rt := o.tf.setup(errw)
+	stopPprof, err := startPprof(o.pprofAddr, rt.tel.Logger())
+	if err != nil {
+		rt.render.stop()
+		return fmt.Errorf("worker: %w", err)
+	}
+	defer stopPprof()
 	tctx, root := rt.context(ctx, "resmod worker")
 	err = w.Run(tctx)
 	root.End()

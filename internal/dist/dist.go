@@ -21,6 +21,17 @@ import (
 	"resmod/internal/apps"
 	"resmod/internal/faultsim"
 	"resmod/internal/fpe"
+	"resmod/internal/telemetry"
+)
+
+// Correlation headers on coordinator→worker dispatch requests.  The
+// request ID is the server middleware's X-Request-ID, echoed back on the
+// response and folded into worker slog fields so one grep reconstructs a
+// request's hop-by-hop story; the parent span ID names the coordinator's
+// dispatch span so returned shard spans graft under it.
+const (
+	RequestIDHeader  = "X-Request-ID"
+	ParentSpanHeader = "X-Parent-Span-ID"
 )
 
 // CampaignSpec is the JSON wire form of a faultsim.Campaign: exactly
@@ -114,18 +125,60 @@ func (s CampaignSpec) Campaign() (faultsim.Campaign, error) {
 }
 
 // ShardRequest is the coordinator→worker dispatch payload: one
-// contiguous trial range of one campaign.
+// contiguous trial range of one campaign, plus the observability the
+// coordinator wants back.  Trace and Progress are observation-only —
+// they never reach the campaign identity or the RNG streams.
 type ShardRequest struct {
 	Campaign CampaignSpec `json:"campaign"`
 	Start    int          `json:"start"`
 	End      int          `json:"end"`
+	// Trace asks the worker to run the shard under its own tracer and
+	// return the serialized spans in ShardResponse.Trace.
+	Trace bool `json:"trace,omitempty"`
+	// Progress, when set, asks the worker to stream live shard tallies
+	// back to the coordinator while the shard runs.
+	Progress *ProgressSpec `json:"progress,omitempty"`
 }
 
-// ShardResponse is the worker's reply: the shard's partial tallies.
+// ProgressSpec tells a worker where and how often to report live shard
+// progress: POST ShardProgressReports carrying Token to the
+// coordinator's /v1/shards/progress at most every EveryNS nanoseconds.
+// The token scopes reports to one dispatch attempt, so a retired
+// chunk's stale reports can be recognized and dropped.
+type ProgressSpec struct {
+	Token   string `json:"token"`
+	EveryNS int64  `json:"every_ns,omitempty"`
+}
+
+// ShardProgressReport is the worker→coordinator live-progress payload:
+// the latest faultsim.ShardStatus of one in-flight shard.
+type ShardProgressReport struct {
+	Token  string               `json:"token"`
+	Worker string               `json:"worker,omitempty"`
+	Status faultsim.ShardStatus `json:"status"`
+}
+
+// ShardResponse is the worker's reply: the shard's partial tallies,
+// plus (when the request asked for it) the worker-side spans recorded
+// while executing the shard — the coordinator grafts them under its
+// dispatch span so the job trace shows the true cross-fleet timeline.
 type ShardResponse struct {
 	Worker    string                `json:"worker"`
 	Result    *faultsim.ShardResult `json:"result"`
 	ElapsedNS int64                 `json:"elapsed_ns"`
+	Trace     []telemetry.SpanView  `json:"trace,omitempty"`
+}
+
+// WorkerStats is the self-reported counter snapshot a worker piggybacks
+// on every heartbeat; the coordinator aggregates these into the
+// resmod_fleet_* metric families and /v1/cluster.
+type WorkerStats struct {
+	ShardsDone     uint64 `json:"shards_done"`
+	ShardsFailed   uint64 `json:"shards_failed"`
+	ShardsInflight uint64 `json:"shards_inflight"`
+	TrialsDone     uint64 `json:"trials_done"`
+	GoldenHits     uint64 `json:"golden_hits"`
+	GoldenMisses   uint64 `json:"golden_misses"`
 }
 
 // registerRequest / registerResponse / heartbeatRequest are the worker
@@ -141,6 +194,9 @@ type registerResponse struct {
 
 type heartbeatRequest struct {
 	ID string `json:"id"`
+	// Stats piggybacks the worker's counter snapshot (nil from pre-PR 8
+	// workers — the coordinator then has liveness but no detail).
+	Stats *WorkerStats `json:"stats,omitempty"`
 }
 
 // errorResponse mirrors the server package's error envelope.

@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -64,6 +65,7 @@ func startCluster(t *testing.T, n int, cfg PoolConfig) *cluster {
 		w, err := NewWorker(WorkerConfig{
 			Coordinator:    cl.coord.URL,
 			Listen:         "127.0.0.1:0",
+			Name:           fmt.Sprintf("tw%d", i),
 			Workers:        2,
 			HeartbeatEvery: 25 * time.Millisecond,
 		})
@@ -311,7 +313,7 @@ func TestWorkerKilledMidCampaign(t *testing.T) {
 func TestHeartbeatExpiry(t *testing.T) {
 	pool := NewPool(PoolConfig{HeartbeatTimeout: 50 * time.Millisecond})
 	id := pool.Register("w", "http://127.0.0.1:1")
-	if !pool.Heartbeat(id) {
+	if !pool.Heartbeat(id, nil) {
 		t.Fatal("heartbeat for a registered worker rejected")
 	}
 	if got := pool.Stats().WorkersAlive; got != 1 {
@@ -325,7 +327,7 @@ func TestHeartbeatExpiry(t *testing.T) {
 	if len(ws) != 1 || ws[0].Alive {
 		t.Fatalf("registry view = %+v, want one dead worker", ws)
 	}
-	if pool.Heartbeat("nope") {
+	if pool.Heartbeat("nope", nil) {
 		t.Fatal("heartbeat for an unknown id accepted")
 	}
 	// Re-registration at the same URL replaces the stale entry.

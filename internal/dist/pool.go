@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,9 @@ type PoolConfig struct {
 	ShardsPerWorker int
 	// MinShard is the minimum trials per chunk (default DefaultMinShard).
 	MinShard int
+	// ProgressEvery is the live shard-progress report cadence requested
+	// from workers (default defaultProgressEvery).
+	ProgressEvery time.Duration
 }
 
 // Pool is the coordinator's worker registry and shard dispatcher.  It
@@ -64,6 +68,14 @@ type Pool struct {
 	shardsCompleted  atomic.Uint64
 	shardsRequeued   atomic.Uint64
 	shardsLocal      atomic.Uint64
+	progressReports  atomic.Uint64
+	progressStale    atomic.Uint64
+
+	// progSinks routes in-flight shard progress reports by token (see
+	// progress.go).
+	progMu    sync.Mutex
+	progSeq   uint64
+	progSinks map[string]func(ShardProgressReport)
 }
 
 // poolWorker is one registered execution node.
@@ -77,6 +89,13 @@ type poolWorker struct {
 	lastSeen time.Time
 	done     uint64
 	failed   uint64
+	// stats is the worker's self-reported snapshot from its latest
+	// heartbeat (nil until one arrives); rate is trials/sec derived from
+	// consecutive snapshots.
+	stats      *WorkerStats
+	statsAt    time.Time
+	prevTrials uint64
+	rate       float64
 }
 
 func (w *poolWorker) seen(now time.Time) {
@@ -132,17 +151,32 @@ func (p *Pool) Register(name, url string) string {
 	return id
 }
 
-// Heartbeat refreshes a worker's liveness; false means the id is
-// unknown (e.g. the coordinator restarted) and the worker must
+// Heartbeat refreshes a worker's liveness and folds in its piggybacked
+// counter snapshot (nil from workers that report none); false means the
+// id is unknown (e.g. the coordinator restarted) and the worker must
 // re-register.
-func (p *Pool) Heartbeat(id string) bool {
+func (p *Pool) Heartbeat(id string, st *WorkerStats) bool {
 	p.mu.Lock()
 	wk := p.workers[id]
 	p.mu.Unlock()
 	if wk == nil {
 		return false
 	}
-	wk.seen(time.Now())
+	now := time.Now()
+	wk.mu.Lock()
+	wk.lastSeen = now
+	if st != nil {
+		if !wk.statsAt.IsZero() && st.TrialsDone >= wk.prevTrials {
+			if dt := now.Sub(wk.statsAt).Seconds(); dt > 0 {
+				wk.rate = float64(st.TrialsDone-wk.prevTrials) / dt
+			}
+		}
+		wk.prevTrials = st.TrialsDone
+		wk.statsAt = now
+		cp := *st
+		wk.stats = &cp
+	}
+	wk.mu.Unlock()
 	p.heartbeats.Add(1)
 	return true
 }
@@ -162,7 +196,10 @@ func (p *Pool) alive() []*poolWorker {
 	return out
 }
 
-// WorkerInfo is the /v1/workers JSON view of one registered worker.
+// WorkerInfo is the /v1/workers and /v1/cluster JSON view of one
+// registered worker.  ShardsDone/ShardsFailed are this coordinator's
+// view of its own dispatches; Stats is the worker's self-reported
+// lifetime snapshot from its latest heartbeat.
 type WorkerInfo struct {
 	ID           string `json:"id"`
 	Name         string `json:"name"`
@@ -171,6 +208,11 @@ type WorkerInfo struct {
 	LastSeenMS   int64  `json:"last_seen_ms"`
 	ShardsDone   uint64 `json:"shards_done"`
 	ShardsFailed uint64 `json:"shards_failed"`
+	// TrialsPerSec is derived from consecutive heartbeat snapshots (0
+	// until two arrive).
+	TrialsPerSec float64 `json:"trials_per_sec"`
+	// Stats is nil until the worker's first stats-bearing heartbeat.
+	Stats *WorkerStats `json:"worker_stats,omitempty"`
 }
 
 // Workers lists every registered worker, alive or not, id-ordered.
@@ -181,7 +223,7 @@ func (p *Pool) Workers() []WorkerInfo {
 	out := make([]WorkerInfo, 0, len(p.workers))
 	for _, wk := range p.workers {
 		wk.mu.Lock()
-		out = append(out, WorkerInfo{
+		info := WorkerInfo{
 			ID:           wk.id,
 			Name:         wk.name,
 			URL:          wk.url,
@@ -189,8 +231,14 @@ func (p *Pool) Workers() []WorkerInfo {
 			LastSeenMS:   now.Sub(wk.lastSeen).Milliseconds(),
 			ShardsDone:   wk.done,
 			ShardsFailed: wk.failed,
-		})
+			TrialsPerSec: wk.rate,
+		}
+		if wk.stats != nil {
+			cp := *wk.stats
+			info.Stats = &cp
+		}
 		wk.mu.Unlock()
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -206,6 +254,10 @@ type PoolStats struct {
 	ShardsCompleted  uint64
 	ShardsRequeued   uint64
 	ShardsLocal      uint64
+	// ProgressReports counts accepted live shard-progress reports;
+	// ProgressStale counts reports dropped for carrying a retired token.
+	ProgressReports uint64
+	ProgressStale   uint64
 }
 
 // Stats snapshots the pool counters.
@@ -223,6 +275,8 @@ func (p *Pool) Stats() PoolStats {
 		ShardsCompleted:  p.shardsCompleted.Load(),
 		ShardsRequeued:   p.shardsRequeued.Load(),
 		ShardsLocal:      p.shardsLocal.Load(),
+		ProgressReports:  p.progressReports.Load(),
+		ProgressStale:    p.progressStale.Load(),
 	}
 }
 
@@ -298,6 +352,7 @@ func (p *Pool) Distribute(ctx context.Context, c faultsim.Campaign, golden *faul
 	p.campaigns.Add(1)
 	c = c.Normalized()
 	tel := telemetry.From(ctx)
+	reqID := telemetry.RequestID(ctx)
 	ctx, span := tel.Tracer().Start(ctx, "distribute",
 		telemetry.String("id", c.Identity()),
 		telemetry.Int("workers", len(alive)))
@@ -310,6 +365,12 @@ func (p *Pool) Distribute(ctx context.Context, c faultsim.Campaign, golden *faul
 	log.Info("distributing campaign", "id", c.Identity(),
 		"trials", c.Trials, "workers", len(alive), "chunks", len(queue.chunks))
 
+	// Live progress (nil when the context carries no bus): workers stream
+	// in-flight tallies back, merged chunks settle into the Merger, and
+	// the combined view feeds the same events a local run publishes.
+	dp := newDistProgress(p, tel.Progress(), c.Identity(), c.Trials, m)
+	dp.publish(telemetry.StateRunning)
+
 	var wg sync.WaitGroup
 	for _, wk := range alive {
 		wg.Add(1)
@@ -320,11 +381,15 @@ func (p *Pool) Distribute(ctx context.Context, c faultsim.Campaign, golden *faul
 				if !ok {
 					return
 				}
-				res, err := p.dispatch(ctx, wk, spec, r)
+				token := dp.attach()
+				res, err := p.dispatch(ctx, tel, wk, spec, r, token, reqID)
 				if err != nil {
 					// The chunk goes back for survivors (or the local
 					// tail); this worker sits out the rest of the
-					// campaign until its heartbeats prove it back.
+					// campaign until its heartbeats prove it back.  Its
+					// token retires with it, so any straggler progress
+					// reports cannot double-count the re-executed trials.
+					dp.retire(token)
 					queue.requeue(r)
 					p.shardsRequeued.Add(1)
 					wk.mu.Lock()
@@ -337,11 +402,13 @@ func (p *Pool) Distribute(ctx context.Context, c faultsim.Campaign, golden *faul
 				if err := m.Merge(res); err != nil {
 					// A result that does not merge is a protocol bug or a
 					// hostile worker; treat like a dispatch failure.
+					dp.retire(token)
 					queue.requeue(r)
 					p.shardsRequeued.Add(1)
 					log.Warn("shard result rejected", "worker", wk.id, "err", err)
 					return
 				}
+				dp.settle(token)
 				p.shardsCompleted.Add(1)
 				wk.mu.Lock()
 				wk.done++
@@ -363,13 +430,23 @@ func (p *Pool) Distribute(ctx context.Context, c faultsim.Campaign, golden *faul
 			if !ok {
 				break
 			}
-			res, err := faultsim.RunShardCtx(ctx, c, golden, r[0], r[1])
+			runCtx := ctx
+			token := dp.attach()
+			if token != "" {
+				runCtx = faultsim.WithShardObserver(ctx, func(st faultsim.ShardStatus) {
+					dp.report(ShardProgressReport{Token: token, Status: st})
+				})
+			}
+			res, err := faultsim.RunShardCtx(runCtx, c, golden, r[0], r[1])
 			if err != nil {
+				dp.finish(err, ctx.Err() != nil)
 				return nil, true, fmt.Errorf("dist: local completion of [%d,%d): %w", r[0], r[1], err)
 			}
 			if err := m.Merge(res); err != nil {
+				dp.finish(err, false)
 				return nil, true, err
 			}
+			dp.settle(token)
 			p.shardsLocal.Add(1)
 			log.Info("completed shard locally", "start", r[0], "end", r[1])
 			if m.AbnormalExceeded() {
@@ -379,8 +456,10 @@ func (p *Pool) Distribute(ctx context.Context, c faultsim.Campaign, golden *faul
 	}
 	sum, err := m.Summary()
 	if err != nil {
+		dp.finish(err, false)
 		return nil, true, err
 	}
+	dp.finish(nil, false)
 	span.SetAttr(telemetry.Attr{Key: "trials_done", Value: m.Done()})
 	return sum, true, nil
 }
@@ -389,9 +468,31 @@ func (p *Pool) Distribute(ctx context.Context, c faultsim.Campaign, golden *faul
 // A watchdog cancels the in-flight request if the worker's heartbeat
 // goes stale — a killed node whose TCP connection does not reset still
 // only delays the campaign by the heartbeat timeout.
-func (p *Pool) dispatch(ctx context.Context, wk *poolWorker, spec CampaignSpec, r [2]int) (*faultsim.ShardResult, error) {
+//
+// Observability: the dispatch runs under its own span whose ID (and the
+// job's request ID) travel as headers; when tracing is on, the worker's
+// returned spans graft under that span tagged with the worker identity,
+// anchored at the dispatch instant — the job trace then shows the true
+// cross-fleet timeline.  A non-empty token asks the worker to stream
+// live progress back to /v1/shards/progress.
+func (p *Pool) dispatch(ctx context.Context, tel *telemetry.Telemetry, wk *poolWorker, spec CampaignSpec, r [2]int, token, reqID string) (*faultsim.ShardResult, error) {
 	p.shardsDispatched.Add(1)
-	body, err := json.Marshal(ShardRequest{Campaign: spec, Start: r[0], End: r[1]})
+	tr := tel.Tracer()
+	dispatchedAt := time.Now()
+	_, dspan := tr.Start(ctx, "dispatch",
+		telemetry.String("worker", wk.id),
+		telemetry.String("worker_name", wk.name),
+		telemetry.Int("start", r[0]), telemetry.Int("end", r[1]))
+	defer dspan.End()
+	sreq := ShardRequest{Campaign: spec, Start: r[0], End: r[1], Trace: tr != nil}
+	if token != "" {
+		every := p.cfg.ProgressEvery
+		if every <= 0 {
+			every = defaultProgressEvery
+		}
+		sreq.Progress = &ProgressSpec{Token: token, EveryNS: int64(every)}
+	}
+	body, err := json.Marshal(sreq)
 	if err != nil {
 		return nil, err
 	}
@@ -421,6 +522,12 @@ func (p *Pool) dispatch(ctx context.Context, wk *poolWorker, spec CampaignSpec, 
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set(RequestIDHeader, reqID)
+	}
+	if id := dspan.ID(); id != 0 {
+		req.Header.Set(ParentSpanHeader, strconv.FormatUint(id, 10))
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -436,6 +543,11 @@ func (p *Pool) dispatch(ctx context.Context, wk *poolWorker, spec CampaignSpec, 
 	}
 	if sr.Result == nil {
 		return nil, errors.New("dist: worker returned no shard result")
+	}
+	if len(sr.Trace) > 0 {
+		tr.Graft(sr.Trace, dspan, dispatchedAt,
+			telemetry.String("worker", wk.id),
+			telemetry.String("worker_name", wk.name))
 	}
 	return sr.Result, nil
 }

@@ -24,6 +24,9 @@ const (
 	DefaultHeartbeatEvery = 1 * time.Second
 	// registerBackoffMax caps the re-registration retry backoff.
 	registerBackoffMax = 5 * time.Second
+	// defaultProgressEvery is the shard progress-report period used when
+	// the dispatch request names none.
+	defaultProgressEvery = 500 * time.Millisecond
 )
 
 // WorkerConfig configures one execution node.
@@ -61,8 +64,14 @@ type Worker struct {
 	mu      sync.Mutex
 	goldens map[goldenKey]*goldenFlight
 
-	shardsDone   atomic.Uint64
-	shardsFailed atomic.Uint64
+	shardsDone     atomic.Uint64
+	shardsFailed   atomic.Uint64
+	shardsInflight atomic.Int64
+	trialsDone     atomic.Uint64
+	goldenHits     atomic.Uint64
+	goldenMisses   atomic.Uint64
+
+	start time.Time
 }
 
 type goldenKey struct {
@@ -92,11 +101,31 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		cfg:     cfg,
 		client:  &http.Client{Timeout: 10 * time.Second},
 		goldens: make(map[goldenKey]*goldenFlight),
+		start:   time.Now(),
 	}, nil
 }
 
+// stats snapshots the worker's self-reported counters — the payload
+// piggybacked on every heartbeat and served on the worker's /metrics.
+func (w *Worker) stats() WorkerStats {
+	inflight := w.shardsInflight.Load()
+	if inflight < 0 {
+		inflight = 0
+	}
+	return WorkerStats{
+		ShardsDone:     w.shardsDone.Load(),
+		ShardsFailed:   w.shardsFailed.Load(),
+		ShardsInflight: uint64(inflight),
+		TrialsDone:     w.trialsDone.Load(),
+		GoldenHits:     w.goldenHits.Load(),
+		GoldenMisses:   w.goldenMisses.Load(),
+	}
+}
+
 // Handler returns the worker's HTTP surface: POST /v1/shards executes a
-// shard synchronously; GET /healthz reports liveness and tallies.
+// shard synchronously; GET /healthz reports liveness and tallies; GET
+// /metrics exposes the worker's own Prometheus families so a standalone
+// node is scrapeable without going through the coordinator.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/shards", w.handleShard)
@@ -107,7 +136,53 @@ func (w *Worker) Handler() http.Handler {
 			"shards_failed": w.shardsFailed.Load(),
 		})
 	})
+	mux.HandleFunc("GET /metrics", w.handleMetrics)
 	return mux
+}
+
+// handleMetrics serves the worker-node metric families in Prometheus
+// text exposition format: shard/trial counters plus, when the worker's
+// telemetry sink is a Recorder, the engine outcome counters.
+func (w *Worker) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	st := w.stats()
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(rw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(rw, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("resmod_worker_shards_done_total", "Shards executed and returned.", st.ShardsDone)
+	counter("resmod_worker_shards_failed_total", "Shards that ended in an error.", st.ShardsFailed)
+	counter("resmod_worker_trials_done_total", "Trials completed across all shards.", st.TrialsDone)
+	counter("resmod_worker_golden_cache_hits_total",
+		"Shard requests answered from the golden-run cache.", st.GoldenHits)
+	counter("resmod_worker_golden_cache_misses_total",
+		"Golden-run computations triggered by shard requests.", st.GoldenMisses)
+	gauge("resmod_worker_shards_inflight", "Shards currently executing.", float64(st.ShardsInflight))
+	gauge("resmod_worker_uptime_seconds", "Seconds since the worker process started.",
+		time.Since(w.start).Seconds())
+	if rec, ok := w.tel.Sink().(*telemetry.Recorder); ok {
+		engine := rec.Snapshot()
+		fmt.Fprintf(rw, "# HELP resmod_trial_total Fault-injection trials executed, by outcome.\n")
+		fmt.Fprintf(rw, "# TYPE resmod_trial_total counter\n")
+		for _, oc := range []struct {
+			label string
+			v     uint64
+		}{
+			{"success", engine.TrialSuccess},
+			{"sdc", engine.TrialSDC},
+			{"failure", engine.TrialFailure},
+			{"other", engine.TrialOther},
+		} {
+			fmt.Fprintf(rw, "resmod_trial_total{outcome=%q} %d\n", oc.label, oc.v)
+		}
+		counter("resmod_trial_abnormal_total",
+			"Trials abandoned after repeated harness errors.", engine.TrialsAbnormal)
+		counter("resmod_trial_retried_total", "Retries of abnormal trials.", engine.TrialsRetried)
+		counter("resmod_golden_runs_total",
+			"Fault-free reference executions computed.", engine.GoldenRuns)
+	}
 }
 
 // Run serves shards until the context ends: bind, register (retrying
@@ -213,8 +288,9 @@ func (w *Worker) register(ctx context.Context, name, advertise string) (string, 
 }
 
 func (w *Worker) heartbeat(ctx context.Context, id string) error {
+	st := w.stats()
 	return w.postJSON(ctx, w.cfg.Coordinator+"/v1/workers/heartbeat",
-		heartbeatRequest{ID: id}, nil)
+		heartbeatRequest{ID: id, Stats: &st}, nil)
 }
 
 func (w *Worker) postJSON(ctx context.Context, url string, body, out any) error {
@@ -246,6 +322,12 @@ func (w *Worker) postJSON(ctx context.Context, url string, body, out any) error 
 // is the cancellation lever: a coordinator that abandons the dispatch
 // (worker presumed dead, campaign canceled) tears down the shard's
 // trials through the same plumbing as a local SIGINT.
+//
+// Observability rides the request: the coordinator's X-Request-ID lands
+// in this worker's slog fields and is echoed on the response, a
+// per-request tracer captures the shard's spans for the reply when the
+// dispatch asked for them, and a progress spec makes the shard stream
+// live tallies back while it runs.  None of it can perturb the result.
 func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 	var req ShardRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
@@ -258,29 +340,129 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.Workers = w.cfg.Workers
-	golden, err := w.golden(r.Context(), c.App, c.Class, c.Procs, c.Timeout)
+
+	ctx := r.Context()
+	log := w.tel.Logger().With("shard", fmt.Sprintf("[%d,%d)", req.Start, req.End))
+	if reqID := r.Header.Get(RequestIDHeader); reqID != "" {
+		rw.Header().Set(RequestIDHeader, reqID)
+		log = log.With("request_id", reqID)
+		ctx = telemetry.WithRequestID(ctx, reqID)
+	}
+	if ps := r.Header.Get(ParentSpanHeader); ps != "" {
+		log = log.With("parent_span", ps)
+	}
+	stel := w.tel.WithLogger(log)
+	var tr *telemetry.Tracer
+	if req.Trace {
+		tr = telemetry.NewTracer()
+		stel = stel.WithTracer(tr)
+	}
+	ctx = telemetry.With(ctx, stel)
+	ctx, stopProgress := w.shardProgress(ctx, req.Progress)
+	defer stopProgress()
+
+	w.shardsInflight.Add(1)
+	defer w.shardsInflight.Add(-1)
+	log.Info("shard accepted", "app", req.Campaign.App, "trials", req.End-req.Start)
+
+	golden, err := w.golden(ctx, c.App, c.Class, c.Procs, c.Timeout)
 	if err != nil {
 		w.shardsFailed.Add(1)
+		log.Warn("shard failed", "stage", "golden", "err", err)
 		writeJSON(rw, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
 	t0 := time.Now()
-	res, err := faultsim.RunShardCtx(r.Context(), c, golden, req.Start, req.End)
+	res, err := faultsim.RunShardCtx(ctx, c, golden, req.Start, req.End)
 	if err != nil {
 		w.shardsFailed.Add(1)
+		log.Warn("shard failed", "stage", "run", "err", err)
 		writeJSON(rw, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
 	w.shardsDone.Add(1)
+	w.trialsDone.Add(res.Checkpoint.Completed)
 	id := ""
 	if v := w.id.Load(); v != nil {
 		id = v.(string)
 	}
-	writeJSON(rw, http.StatusOK, ShardResponse{
+	resp := ShardResponse{
 		Worker:    id,
 		Result:    res,
 		ElapsedNS: time.Since(t0).Nanoseconds(),
+	}
+	if tr != nil {
+		// Ship the shard's spans back, and keep a copy in the worker's own
+		// tracer (when it has one) so a worker-side -trace file still shows
+		// the work this node did.
+		resp.Trace = tr.Spans()
+		w.tel.Tracer().Merge(tr)
+	}
+	log.Info("shard done", "trials_done", res.Checkpoint.Completed,
+		"elapsed_ms", time.Since(t0).Milliseconds())
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// shardProgress arranges live progress streaming for one shard: it
+// installs a faultsim.ShardObserver on the context and starts a pusher
+// goroutine that POSTs the latest tallies to the coordinator at the
+// requested cadence (latest-wins, never blocking the trial loop).  The
+// returned stop function must be called before the shard response is
+// written.  A nil spec is a no-op.
+func (w *Worker) shardProgress(ctx context.Context, spec *ProgressSpec) (context.Context, func()) {
+	if spec == nil || spec.Token == "" || w.cfg.Coordinator == "" {
+		return ctx, func() {}
+	}
+	every := time.Duration(spec.EveryNS)
+	if every <= 0 {
+		every = defaultProgressEvery
+	}
+	updates := make(chan faultsim.ShardStatus, 1)
+	obsCtx := faultsim.WithShardObserver(ctx, func(st faultsim.ShardStatus) {
+		for {
+			select {
+			case updates <- st:
+				return
+			default:
+				// Stale snapshot still queued: drop it, then retry the send.
+				select {
+				case <-updates:
+				default:
+				}
+			}
+		}
 	})
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		var latest *faultsim.ShardStatus
+		for {
+			select {
+			case <-done:
+				return
+			case st := <-updates:
+				latest = &st
+			case <-t.C:
+				if latest == nil {
+					continue
+				}
+				st := *latest
+				latest = nil
+				id := ""
+				if v := w.id.Load(); v != nil {
+					id = v.(string)
+				}
+				pctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_ = w.postJSON(pctx, w.cfg.Coordinator+"/v1/shards/progress",
+					ShardProgressReport{Token: spec.Token, Worker: id, Status: st}, nil)
+				cancel()
+			}
+		}
+	}()
+	return obsCtx, func() { close(done); <-stopped }
 }
 
 // golden returns the (app, class, procs) reference run, computing it at
@@ -293,6 +475,7 @@ func (w *Worker) golden(ctx context.Context, app apps.App, class string, procs i
 	w.mu.Lock()
 	f := w.goldens[key]
 	if f == nil {
+		w.goldenMisses.Add(1)
 		f = &goldenFlight{done: make(chan struct{})}
 		w.goldens[key] = f
 		w.mu.Unlock()
@@ -305,6 +488,7 @@ func (w *Worker) golden(ctx context.Context, app apps.App, class string, procs i
 		}
 		close(f.done)
 	} else {
+		w.goldenHits.Add(1)
 		w.mu.Unlock()
 		select {
 		case <-f.done:

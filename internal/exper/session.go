@@ -161,9 +161,11 @@ func join[T any](s *Session, ctx context.Context, m map[string]*flight[T], key s
 	if f == nil {
 		f = &flight[T]{done: make(chan struct{}), waiters: 1}
 		// The shared computation keeps the first caller's telemetry
-		// bundle (its tracer owns the campaign spans) but not its
+		// bundle (its tracer owns the campaign spans) and request ID
+		// (dispatch headers carry it to workers) but not its
 		// cancellation: it must outlive any individual waiter.
-		runCtx, cancel := context.WithCancel(telemetry.With(s.baseCtx(), telemetry.From(ctx)))
+		runCtx, cancel := context.WithCancel(telemetry.WithRequestID(
+			telemetry.With(s.baseCtx(), telemetry.From(ctx)), telemetry.RequestID(ctx)))
 		f.cancel = cancel
 		m[key] = f
 		go func() {

@@ -3,7 +3,6 @@ package faultsim
 import (
 	"time"
 
-	"resmod/internal/stats"
 	"resmod/internal/telemetry"
 )
 
@@ -70,35 +69,12 @@ func (p *campaignProgress) publish(agg *aggregate, state string) {
 	if p == nil {
 		return
 	}
-	pc := agg.progressCounts()
-	ev := telemetry.ProgressEvent{
-		Kind:     telemetry.KindCampaign,
-		Key:      p.identity,
-		State:    state,
-		Done:     pc.done,
-		Total:    uint64(p.trials),
-		Success:  pc.success,
-		SDC:      pc.sdc,
-		Failure:  pc.failure,
-		Abnormal: pc.abnormal,
-		Retried:  pc.retried,
+	st := statusOf(agg, 0, p.trials)
+	var ran uint64
+	if st.Done >= p.startDone {
+		ran = st.Done - p.startDone
 	}
-	elapsed := time.Since(p.start).Seconds()
-	ev.ElapsedSeconds = elapsed
-	if ran := pc.done - p.startDone; elapsed > 0 && ran > 0 && pc.done >= p.startDone {
-		ev.TrialsPerSec = float64(ran) / elapsed
-		if remaining := uint64(p.trials) - pc.done; pc.done <= uint64(p.trials) {
-			ev.ETASeconds = float64(remaining) / ev.TrialsPerSec
-		}
-	}
-	if n := pc.success + pc.sdc + pc.failure; n > 0 {
-		counter := stats.Counter{Success: pc.success, SDC: pc.sdc, Failure: pc.failure}
-		iv := counter.Rates().Intervals95()
-		ev.SuccessCI = &telemetry.CI{Lo: iv.Success.Lo, Hi: iv.Success.Hi}
-		ev.SDCCI = &telemetry.CI{Lo: iv.SDC.Lo, Hi: iv.SDC.Hi}
-		ev.FailureCI = &telemetry.CI{Lo: iv.Failure.Lo, Hi: iv.Failure.Hi}
-	}
-	p.prog.Publish(ev)
+	p.prog.Publish(BuildProgressEvent(p.identity, state, p.trials, st, time.Since(p.start), ran))
 }
 
 // finish publishes the terminal snapshot for a campaign that produced a

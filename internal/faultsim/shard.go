@@ -117,6 +117,9 @@ func RunShardCtx(ctx context.Context, c Campaign, golden *Golden, start, end int
 	agg := newAggregate(c.Procs, c.Trials)
 	base := stats.NewRNG(c.Seed)
 	sink := tel.Sink()
+	// Live tallies for the dispatcher, at the campaign's progress cadence.
+	obs := shardObserverFrom(ctx)
+	every := progressEvery(c)
 	var wg sync.WaitGroup
 	for w := 0; w < c.Workers; w++ {
 		wg.Add(1)
@@ -146,12 +149,18 @@ func RunShardCtx(ctx context.Context, c Campaign, golden *Golden, start, end int
 					}
 					continue
 				}
-				agg.record(t, rec)
+				done := agg.record(t, rec)
 				sink.TrialDone(rec.Outcome.String(), time.Since(t0))
+				if obs != nil && done%every == 0 {
+					obs(statusOf(agg, start, end))
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	if obs != nil {
+		obs(statusOf(agg, start, end))
+	}
 
 	res := &ShardResult{Start: start, End: end, Checkpoint: agg.snapshot(identity)}
 	for _, te := range agg.abnormalTrials() {

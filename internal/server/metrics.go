@@ -189,7 +189,7 @@ func (m *metrics) request(method, route string, code int) {
 // become per-campaign gauge series).
 func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats, engine telemetry.Snapshot,
 	sched exper.SchedulerStats, progress []telemetry.ProgressEvent, tenantInflight []tenantGauge,
-	distStats *dist.PoolStats) {
+	distStats *dist.PoolStats, fleet []dist.WorkerInfo) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -386,6 +386,85 @@ func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats, en
 		counter("resmod_dist_shards_local_total",
 			"Shards the coordinator finished locally after worker loss.",
 			distStats.ShardsLocal)
+
+		// Fleet aggregation: the coordinator's view of every worker, one
+		// labeled series per worker keyed by its registered name.  HELP and
+		// TYPE lines are emitted even with zero workers so the families are
+		// discoverable the moment a coordinator starts.
+		gauge("resmod_fleet_workers_known",
+			"Workers ever registered with this coordinator (fleet view).",
+			float64(distStats.WorkersKnown))
+		gauge("resmod_fleet_workers_alive",
+			"Registered workers with a fresh heartbeat (fleet view).",
+			float64(distStats.WorkersAlive))
+		counter("resmod_fleet_progress_reports_total",
+			"In-flight shard progress reports accepted from workers.",
+			distStats.ProgressReports)
+		counter("resmod_fleet_progress_stale_total",
+			"Shard progress reports dropped for carrying a retired token.",
+			distStats.ProgressStale)
+		type fleetSeries struct {
+			name, help, typ string
+			value           func(wi dist.WorkerInfo) (float64, bool)
+		}
+		for _, fs := range []fleetSeries{
+			{"resmod_fleet_worker_up", "Whether the worker's heartbeat is fresh (1) or stale (0).", "gauge",
+				func(wi dist.WorkerInfo) (float64, bool) {
+					if wi.Alive {
+						return 1, true
+					}
+					return 0, true
+				}},
+			{"resmod_fleet_worker_heartbeat_age_seconds", "Seconds since the worker's last heartbeat.", "gauge",
+				func(wi dist.WorkerInfo) (float64, bool) {
+					// LastSeenMS is already an age (milliseconds since the
+					// last heartbeat), sampled when the list was built.
+					return float64(wi.LastSeenMS) / 1000, true
+				}},
+			{"resmod_fleet_worker_trials_per_second", "Trial throughput derived from consecutive heartbeat snapshots.", "gauge",
+				func(wi dist.WorkerInfo) (float64, bool) { return wi.TrialsPerSec, true }},
+			{"resmod_fleet_worker_shards_done_total", "Shards this worker completed (coordinator's count).", "counter",
+				func(wi dist.WorkerInfo) (float64, bool) { return float64(wi.ShardsDone), true }},
+			{"resmod_fleet_worker_shards_failed_total", "Shard dispatches to this worker that errored (coordinator's count).", "counter",
+				func(wi dist.WorkerInfo) (float64, bool) { return float64(wi.ShardsFailed), true }},
+			{"resmod_fleet_worker_trials_done_total", "Trials the worker reports having executed.", "counter",
+				func(wi dist.WorkerInfo) (float64, bool) {
+					if wi.Stats == nil {
+						return 0, false
+					}
+					return float64(wi.Stats.TrialsDone), true
+				}},
+			{"resmod_fleet_worker_shards_inflight", "Shards the worker reports currently executing.", "gauge",
+				func(wi dist.WorkerInfo) (float64, bool) {
+					if wi.Stats == nil {
+						return 0, false
+					}
+					return float64(wi.Stats.ShardsInflight), true
+				}},
+			{"resmod_fleet_worker_golden_cache_hits_total", "Golden-run cache hits the worker reports.", "counter",
+				func(wi dist.WorkerInfo) (float64, bool) {
+					if wi.Stats == nil {
+						return 0, false
+					}
+					return float64(wi.Stats.GoldenHits), true
+				}},
+			{"resmod_fleet_worker_golden_cache_misses_total", "Golden-run cache misses the worker reports.", "counter",
+				func(wi dist.WorkerInfo) (float64, bool) {
+					if wi.Stats == nil {
+						return 0, false
+					}
+					return float64(wi.Stats.GoldenMisses), true
+				}},
+		} {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fs.name, fs.help, fs.name, fs.typ)
+			for _, wi := range fleet {
+				v, ok := fs.value(wi)
+				if !ok {
+					continue
+				}
+				fmt.Fprintf(w, "%s{worker=%q} %g\n", fs.name, wi.Name, v)
+			}
+		}
 	}
 
 	if storeStats != nil {

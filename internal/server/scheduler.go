@@ -241,6 +241,7 @@ func (s *Server) runJob(j *job) {
 	defer s.metrics.inflight.Add(-1)
 
 	ctx := telemetry.With(s.baseCtx, s.tel.WithTracer(tr).WithProgress(j.progress))
+	ctx = telemetry.WithRequestID(ctx, j.reqID)
 	ctx, span := tr.Start(ctx, "job",
 		telemetry.String("id", j.id), telemetry.String("app", j.req.App),
 		telemetry.String("request_id", j.reqID))

@@ -15,8 +15,14 @@
 //	GET  /v1/predictions              list known jobs
 //	GET  /v1/status                   aggregate scheduler/progress snapshot
 //	GET  /v1/apps                     registered benchmarks
+//	GET  /v1/workers                  worker roster (coordinator: false off it)
+//	GET  /v1/cluster                  fleet view (workers, stats, liveness)
 //	GET  /healthz                     liveness + queue snapshot
 //	GET  /metrics                     Prometheus text exposition
+//
+// Coordinators (serve -coordinator) additionally mount the worker-facing
+// dist endpoints: POST /v1/workers/register, /v1/workers/heartbeat, and
+// /v1/shards/progress.
 package server
 
 import (
@@ -187,11 +193,14 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /v1/status", s.instrument("/v1/status", s.handleStatus))
 	mux.Handle("GET /v1/apps", s.instrument("/v1/apps", s.handleApps))
 	mux.Handle("GET /v1/workers", s.instrument("/v1/workers", s.handleWorkers))
+	mux.Handle("GET /v1/cluster", s.instrument("/v1/cluster", s.handleCluster))
 	if cfg.DistPool != nil {
 		mux.Handle("POST /v1/workers/register",
 			s.instrument("/v1/workers/register", cfg.DistPool.HandleRegister))
 		mux.Handle("POST /v1/workers/heartbeat",
 			s.instrument("/v1/workers/heartbeat", cfg.DistPool.HandleHeartbeat))
+		mux.Handle("POST /v1/shards/progress",
+			s.instrument("/v1/shards/progress", cfg.DistPool.HandleShardProgress))
 	}
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -675,6 +684,23 @@ func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
 	s.cfg.DistPool.HandleWorkers(w, r)
 }
 
+// handleCluster is GET /v1/cluster: the fleet view — pool counters plus
+// per-worker detail (self-reported stats, trials/sec, heartbeat age).
+// On a non-coordinator server it answers coordinator:false, so
+// operators can point the same dashboard at any instance.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.DistPool == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"coordinator":   false,
+			"workers_known": 0,
+			"workers_alive": 0,
+			"workers":       []dist.WorkerInfo{},
+		})
+		return
+	}
+	s.cfg.DistPool.HandleCluster(w, r)
+}
+
 // handleHealthz is GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
@@ -698,13 +724,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		storeStats = &st
 	}
 	var distStats *dist.PoolStats
+	var fleet []dist.WorkerInfo
 	if s.cfg.DistPool != nil {
 		ds := s.cfg.DistPool.Stats()
 		distStats = &ds
+		fleet = s.cfg.DistPool.Workers()
 	}
 	s.metrics.write(w, s.queue.depth(), storeStats, s.recorder.Snapshot(),
 		s.session.SchedulerStats(), s.progress.Latest(), s.tenants.inflightSnapshot(),
-		distStats)
+		distStats, fleet)
 }
 
 // ---- prediction store ------------------------------------------------------

@@ -525,3 +525,103 @@ func TestWorkersEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterEndpointAndFleetMetrics: /v1/cluster answers on every
+// server (coordinator:false on a plain one) and a coordinator's
+// /metrics grows per-worker resmod_fleet_* series from heartbeat stats.
+func TestClusterEndpointAndFleetMetrics(t *testing.T) {
+	_, hs := newTestServer(t, nil, 1, 4)
+	_, v := getJSON(t, hs.URL+"/v1/cluster")
+	if v["coordinator"] != false {
+		t.Fatalf("plain server /v1/cluster = %v, want coordinator:false", v)
+	}
+
+	pool := dist.NewPool(dist.PoolConfig{HeartbeatTimeout: time.Minute})
+	srv := New(Config{Trials: 10, Seed: 42, Workers: 1, Queue: 4, DistPool: pool})
+	hs2 := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+	})
+	code, reg := postJSON(t, hs2.URL+"/v1/workers/register",
+		`{"name":"w-fleet","url":"http://127.0.0.1:1"}`)
+	if code != http.StatusOK {
+		t.Fatalf("register = %d %v", code, reg)
+	}
+	code, _ = postJSON(t, hs2.URL+"/v1/workers/heartbeat",
+		`{"id":"`+reg["id"].(string)+`","stats":{"trials_done":42,"shards_done":3}}`)
+	if code != http.StatusOK {
+		t.Fatalf("heartbeat = %d", code)
+	}
+
+	_, view := getJSON(t, hs2.URL+"/v1/cluster")
+	if view["coordinator"] != true || view["workers_alive"] != float64(1) {
+		t.Fatalf("coordinator /v1/cluster = %v, want coordinator:true workers_alive:1", view)
+	}
+	workers, ok := view["workers"].([]any)
+	if !ok || len(workers) != 1 {
+		t.Fatalf("/v1/cluster workers = %v", view["workers"])
+	}
+	wk := workers[0].(map[string]any)
+	if wk["name"] != "w-fleet" {
+		t.Fatalf("cluster worker = %v", wk)
+	}
+	if stats, ok := wk["worker_stats"].(map[string]any); !ok || stats["trials_done"] != float64(42) {
+		t.Fatalf("cluster worker stats = %v", wk["worker_stats"])
+	}
+
+	resp, err := http.Get(hs2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"resmod_fleet_workers_alive 1",
+		"resmod_fleet_workers_known 1",
+		"resmod_fleet_progress_reports_total 0",
+		"resmod_fleet_progress_stale_total 0",
+		`resmod_fleet_worker_up{worker="w-fleet"} 1`,
+		`resmod_fleet_worker_trials_done_total{worker="w-fleet"} 42`,
+		`resmod_fleet_worker_shards_done_total{worker="w-fleet"} 0`,
+		`resmod_fleet_worker_heartbeat_age_seconds{worker="w-fleet"}`,
+	} {
+		if !strings.Contains(buf.String(), family) {
+			t.Errorf("/metrics missing %q", family)
+		}
+	}
+
+	// The shard-progress sink is mounted on coordinators: garbage is 400,
+	// an unknown token is accepted-but-stale (ok:false).
+	code, _ = postJSON(t, hs2.URL+"/v1/shards/progress", `{"token":""}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("empty-token progress report = %d, want 400", code)
+	}
+	code, pr := postJSON(t, hs2.URL+"/v1/shards/progress", `{"token":"t123"}`)
+	if code != http.StatusOK || pr["ok"] != false {
+		t.Fatalf("stale progress report = %d %v, want 200 ok:false", code, pr)
+	}
+	if !strings.Contains(metricsText(t, hs2.URL), "resmod_fleet_progress_stale_total 1") {
+		t.Error("stale progress report not counted")
+	}
+}
+
+// metricsText fetches /metrics as a string.
+func metricsText(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

@@ -87,6 +87,17 @@ func (t *Telemetry) WithTracer(tr *Tracer) *Telemetry {
 	return &Telemetry{logger: t.Logger(), tracer: tr, sink: t.Sink(), progress: t.Progress()}
 }
 
+// WithLogger returns a copy of the bundle logging through l while sharing
+// the tracer, sink and progress bus — how a worker scopes request-level
+// slog fields (request_id, shard range) without forking the rest of its
+// telemetry.  A nil l falls back to the discarding logger.
+func (t *Telemetry) WithLogger(l *slog.Logger) *Telemetry {
+	if l == nil {
+		l = nopLogger
+	}
+	return &Telemetry{logger: l, tracer: t.Tracer(), sink: t.Sink(), progress: t.Progress()}
+}
+
 // WithProgress returns a copy of the bundle publishing live progress
 // onto p while sharing the logger, tracer and sink — the progress twin
 // of WithTracer (the service scopes a bus per job; the CLI attaches one
@@ -112,6 +123,30 @@ func From(ctx context.Context) *Telemetry {
 		return t
 	}
 	return nop
+}
+
+// reqIDKey keys the request correlation ID in a context.
+type reqIDKey struct{}
+
+// WithRequestID attaches a request correlation ID to the context.  The
+// server stamps its per-request X-Request-ID here so the ID survives the
+// hop into job goroutines and outbound shard dispatches; an empty id
+// returns ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID returns the context's request correlation ID, or "" when none
+// was attached (or ctx is nil).
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
 }
 
 // FromContext is From with an explicit presence report, for callers that

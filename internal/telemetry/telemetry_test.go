@@ -66,6 +66,38 @@ func TestWithTracerSharesLoggerAndSink(t *testing.T) {
 	}
 }
 
+func TestWithLoggerSharesTracerAndSink(t *testing.T) {
+	rec := NewRecorder()
+	tr := NewTracer()
+	base := New(nil, tr, rec)
+	log := NewLogger(&bytes.Buffer{}, slog.LevelInfo)
+	forked := base.WithLogger(log)
+	if forked.Logger() != log {
+		t.Fatal("WithLogger did not install the logger")
+	}
+	if forked.Tracer() != tr || forked.Sink() != rec {
+		t.Fatal("WithLogger forked the tracer or sink")
+	}
+	if nop := base.WithLogger(nil).Logger(); nop == nil {
+		t.Fatal("WithLogger(nil) returned a nil logger")
+	}
+}
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("empty context request id = %q", got)
+	}
+	with := WithRequestID(ctx, "req-42")
+	if got := RequestID(with); got != "req-42" {
+		t.Fatalf("request id = %q, want req-42", got)
+	}
+	// An empty id never shadows an inherited one.
+	if got := RequestID(WithRequestID(with, "")); got != "req-42" {
+		t.Fatalf("empty WithRequestID overwrote the id: %q", got)
+	}
+}
+
 func TestLevelMapping(t *testing.T) {
 	cases := []struct {
 		quiet, verbose bool

@@ -10,10 +10,11 @@ import (
 	"time"
 )
 
-// Attr is one span attribute.
+// Attr is one span attribute.  The JSON tags pin the wire form used when
+// spans cross the coordinator/worker HTTP boundary (dist.ShardResponse).
 type Attr struct {
-	Key   string
-	Value any
+	Key   string `json:"k"`
+	Value any    `json:"v"`
 }
 
 // String builds a string attribute.
@@ -78,6 +79,16 @@ func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 
+// ID returns the span's tracer-assigned identifier (0 on a nil span) —
+// what the coordinator stamps into dispatch headers so workers can report
+// which span their shard ran under.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
 // SetAttr adds attributes to the span (nil-safe).
 func (s *Span) SetAttr(attrs ...Attr) {
 	if s == nil {
@@ -107,15 +118,17 @@ func (s *Span) End() {
 	s.tr.mu.Unlock()
 }
 
-// SpanView is an exported snapshot of one finished span.
+// SpanView is an exported snapshot of one finished span.  It is also the
+// JSON wire form workers use to ship their shard spans back to the
+// coordinator (durations travel as integer nanoseconds).
 type SpanView struct {
-	ID       uint64
-	Parent   uint64 // 0 = root
-	TID      uint64 // lane: the root ancestor's span ID
-	Name     string
-	Start    time.Duration // offset from the tracer's epoch
-	Duration time.Duration
-	Attrs    []Attr
+	ID       uint64        `json:"id"`
+	Parent   uint64        `json:"parent,omitempty"` // 0 = root
+	TID      uint64        `json:"tid"`              // lane: the root ancestor's span ID
+	Name     string        `json:"name"`
+	Start    time.Duration `json:"start"` // offset from the tracer's epoch
+	Duration time.Duration `json:"dur"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
 }
 
 // Spans returns the finished spans sorted by start time (nil-safe).
@@ -167,6 +180,57 @@ func (t *Tracer) Merge(other *Tracer) {
 		}
 		if v.Parent != 0 {
 			s.parent = v.Parent + off
+		}
+		t.spans = append(t.spans, s)
+	}
+	t.mu.Unlock()
+}
+
+// Graft folds spans recorded by another process into t: IDs are remapped
+// like Merge, but spans whose parent is not part of the batch (the remote
+// roots) are re-parented under the given span and tagged with the extra
+// attributes, and all timestamps are re-anchored at the local wall-clock
+// instant `at` — the remote epoch means nothing here, but the coordinator
+// knows when it dispatched the work.  The whole subtree lands in under's
+// lane so the cross-fleet trace reads as one nested timeline.  Nil-safe;
+// a nil or empty batch is a no-op.
+func (t *Tracer) Graft(views []SpanView, under *Span, at time.Time, extra ...Attr) {
+	if t == nil || len(views) == 0 {
+		return
+	}
+	var maxID uint64
+	present := make(map[uint64]bool, len(views))
+	for _, v := range views {
+		present[v.ID] = true
+		if v.ID > maxID {
+			maxID = v.ID
+		}
+	}
+	if maxID == 0 {
+		return
+	}
+	off := t.ids.Add(maxID) - maxID
+	t.mu.Lock()
+	for _, v := range views {
+		s := &Span{
+			tr: t, id: v.ID + off, name: v.Name,
+			start: at.Add(v.Start), dur: v.Duration,
+			attrs: v.Attrs, ended: true,
+		}
+		if present[v.Parent] {
+			s.parent = v.Parent + off
+		} else if under != nil {
+			// Remote root: hang it off the dispatch span and stamp the
+			// worker identity on it.
+			s.parent = under.id
+			if len(extra) > 0 {
+				s.attrs = append(append([]Attr(nil), v.Attrs...), extra...)
+			}
+		}
+		if under != nil {
+			s.tid = under.tid
+		} else {
+			s.tid = v.TID + off
 		}
 		t.spans = append(t.spans, s)
 	}

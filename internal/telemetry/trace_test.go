@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"testing"
+	"time"
 )
 
 func TestTracerParentingAndLanes(t *testing.T) {
@@ -189,5 +190,89 @@ func TestMergeRemapsIDs(t *testing.T) {
 	dst.Merge(dst)
 	if n := len(dst.Spans()); n != 3 {
 		t.Fatalf("no-op merges changed span count to %d", n)
+	}
+}
+
+func TestGraftReparentsRemoteRoots(t *testing.T) {
+	dst := NewTracer()
+	ctx, job := dst.Start(context.Background(), "job")
+	_, dispatch := dst.Start(ctx, "dispatch")
+
+	// A worker-side trace: a shard root with one child, shipped as views.
+	remote := NewTracer()
+	rctx, rroot := remote.Start(context.Background(), "shard")
+	_, rchild := remote.Start(rctx, "golden")
+	rchild.End()
+	rroot.End()
+	remoteViews := remote.Spans()
+
+	at := time.Now()
+	dst.Graft(remoteViews, dispatch, at, String("worker", "w1"))
+	dispatch.End()
+	job.End()
+
+	views := dst.Spans()
+	if len(views) != 4 {
+		t.Fatalf("want 4 spans after graft, got %d", len(views))
+	}
+	ids := map[uint64]bool{}
+	byName := map[string]SpanView{}
+	for _, v := range views {
+		if ids[v.ID] {
+			t.Fatalf("duplicate span id %d after graft", v.ID)
+		}
+		ids[v.ID] = true
+		byName[v.Name] = v
+	}
+	shard, golden := byName["shard"], byName["golden"]
+	if shard.Parent != dispatch.ID() {
+		t.Fatalf("remote root parent = %d, want dispatch %d", shard.Parent, dispatch.ID())
+	}
+	if golden.Parent != shard.ID {
+		t.Fatalf("graft broke the remote parent link: golden parent %d, shard %d",
+			golden.Parent, shard.ID)
+	}
+	// The whole subtree lands in the dispatch span's lane...
+	if shard.TID != byName["job"].TID || golden.TID != byName["job"].TID {
+		t.Fatalf("grafted lanes (%d, %d) != job lane %d", shard.TID, golden.TID, byName["job"].TID)
+	}
+	// ...the root carries the extra worker attrs, its descendants do not...
+	attrOf := func(v SpanView, key string) any {
+		for _, a := range v.Attrs {
+			if a.Key == key {
+				return a.Value
+			}
+		}
+		return nil
+	}
+	if got := attrOf(shard, "worker"); got != "w1" {
+		t.Fatalf("remote root worker attr = %v, want w1", got)
+	}
+	if got := attrOf(golden, "worker"); got != nil {
+		t.Fatalf("remote child gained worker attr %v", got)
+	}
+	// ...and timestamps are re-anchored at the dispatch instant, not the
+	// remote epoch.
+	wantStart := at.Sub(dst.epoch) + remoteViews[0].Start
+	if d := shard.Start - wantStart; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("grafted start %v, want ~%v", shard.Start, wantStart)
+	}
+}
+
+func TestGraftNilAndEmptyAreNoOps(t *testing.T) {
+	var nilTr *Tracer
+	nilTr.Graft([]SpanView{{ID: 1, Name: "x"}}, nil, time.Now())
+
+	dst := NewTracer()
+	dst.Graft(nil, nil, time.Now())
+	dst.Graft([]SpanView{}, nil, time.Now())
+	if n := len(dst.Spans()); n != 0 {
+		t.Fatalf("no-op grafts recorded %d spans", n)
+	}
+	// Grafting without an anchor span keeps the batch's own lanes.
+	dst.Graft([]SpanView{{ID: 1, TID: 1, Name: "loose"}}, nil, time.Now())
+	views := dst.Spans()
+	if len(views) != 1 || views[0].Parent != 0 || views[0].TID != views[0].ID {
+		t.Fatalf("anchorless graft = %+v, want a root in its own lane", views)
 	}
 }

@@ -4,13 +4,18 @@
 # prediction through the sharded HTTP path, SIGKILLs one worker while
 # shards are in flight, and asserts the job still completes with a
 # result byte-identical (wall-time fields excluded) to a plain
-# single-node run.  Also checks the worker roster endpoint and the
-# resmod_dist_* metric families.  The JSON report lands in DISTCHECK_OUT
-# (default distcheck.json) so CI can archive it.
+# single-node run.  Also checks the worker roster and cluster endpoints,
+# the resmod_dist_* / resmod_fleet_* metric families, the merged
+# cross-fleet job trace (spans from both workers), and the SSE progress
+# stream (monotone campaign progress while shards run elsewhere).  The
+# JSON report lands in DISTCHECK_OUT (default distcheck.json) and the
+# merged trace in DISTCHECK_TRACE (default distcheck_trace.json) so CI
+# can archive both.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 out=${DISTCHECK_OUT:-distcheck.json}
+trace_out=${DISTCHECK_TRACE:-distcheck_trace.json}
 trials=${DISTCHECK_TRIALS:-120}
 workdir=$(mktemp -d)
 pid=
@@ -113,15 +118,41 @@ curl -fsS "http://$coord_addr/v1/workers" | grep -q '"coordinator": \?true' ||
     fail "coordinator /v1/workers did not report coordinator: true"
 curl -fsS "http://$coord_addr/v1/workers" | grep -q '"alive": \?2\b' ||
     fail "two workers never became alive"
+# The cluster view and fleet families see both workers before any loss.
+# (Capture bodies instead of piping into grep -q: an early grep exit
+# would SIGPIPE curl mid-body and trip pipefail.)
+cluster=$(curl -fsS "http://$coord_addr/v1/cluster")
+echo "$cluster" | grep -q '"workers_alive": \?2\b' ||
+    fail "/v1/cluster did not report workers_alive: 2"
+m=$(curl -fsS "http://$coord_addr/metrics")
+echo "$m" | grep -q '^resmod_fleet_workers_alive 2$' ||
+    fail "resmod_fleet_workers_alive != 2 with both workers up"
 
-# Kill one worker as soon as shards are actually in flight; the
-# coordinator must requeue its unfinished ranges onto the survivor (or
-# run them locally) and the job must still complete.
+# Capture the distributed job's SSE stream from submission: the stream
+# must show live campaign progress while the trials run on the workers.
+rm -f "$workdir/last-job-id"
+(
+    for _ in $(seq 1 300); do
+        [ -s "$workdir/last-job-id" ] && break
+        sleep 0.1
+    done
+    [ -s "$workdir/last-job-id" ] || exit 1
+    curl -NsS --max-time 300 \
+        "http://$coord_addr/v1/predictions/$(cat "$workdir/last-job-id")/events" \
+        >"$workdir/sse.log"
+) &
+ssepid=$!
+
+# Kill one worker once BOTH workers have completed at least one shard —
+# the merged trace must contain spans from each, and the coordinator
+# must requeue the casualty's unfinished ranges onto the survivor (or
+# run them locally) with the job still completing.
 (
     for _ in $(seq 1 1200); do
-        n=$(curl -fsS "http://$coord_addr/metrics" |
-            awk '/^resmod_dist_shards_dispatched_total / {print $2}')
-        if [ -n "$n" ] && [ "$n" -ge 1 ]; then
+        m=$(curl -fsS "http://$coord_addr/metrics")
+        a=$(echo "$m" | awk -F' ' '/^resmod_fleet_worker_shards_done_total\{worker="w-alpha"\} / {print $2}')
+        b=$(echo "$m" | awk -F' ' '/^resmod_fleet_worker_shards_done_total\{worker="w-beta"\} / {print $2}')
+        if [ -n "$a" ] && [ -n "$b" ] && [ "$a" -ge 1 ] && [ "$b" -ge 1 ]; then
             kill -KILL "$w1pid" 2>/dev/null
             exit 0
         fi
@@ -131,7 +162,54 @@ curl -fsS "http://$coord_addr/v1/workers" | grep -q '"alive": \?2\b' ||
 ) &
 killer=$!
 predict "$coord_addr" "$workdir/job-dist.json"
-wait "$killer" || fail "no shard was ever dispatched — distributed path unused"
+wait "$killer" || fail "both workers never completed a shard — distributed path unused"
+wait "$ssepid" || fail "SSE capture never got the job id"
+
+# The killed worker's heartbeats stop: fleet liveness must drop to 1
+# within the heartbeat timeout.
+alive=
+for _ in $(seq 1 100); do
+    alive=$(curl -fsS "http://$coord_addr/metrics" |
+        awk '/^resmod_fleet_workers_alive / {print $2}')
+    [ "$alive" = 1 ] && break
+    sleep 0.1
+done
+[ "$alive" = 1 ] || fail "resmod_fleet_workers_alive stuck at '$alive' after SIGKILL, want 1"
+
+# The merged job trace shows the cross-fleet timeline: dispatch spans
+# plus grafted worker shard spans tagged with both worker names.
+job_id=$(cat "$workdir/last-job-id")
+curl -fsS "http://$coord_addr/v1/predictions/$job_id/trace" >"$trace_out" ||
+    fail "no job trace for $job_id"
+grep -q '"dispatch"' "$trace_out" || fail "job trace has no dispatch spans"
+grep -q '"worker_name":"w-alpha"' "$trace_out" ||
+    fail "job trace has no grafted spans from w-alpha"
+grep -q '"worker_name":"w-beta"' "$trace_out" ||
+    fail "job trace has no grafted spans from w-beta"
+
+# The SSE stream carried live campaign progress, monotone per campaign.
+python3 - "$workdir/sse.log" <<'EOF' || fail "SSE progress stream check failed"
+import json, sys
+events = []
+for line in open(sys.argv[1]):
+    if line.startswith("data: "):
+        events.append(json.loads(line[len("data: "):]))
+campaigns = [e for e in events if e.get("kind") == "campaign"]
+if not campaigns:
+    print("no campaign progress events on the SSE stream", file=sys.stderr)
+    sys.exit(1)
+high = {}
+for e in campaigns:
+    key, done = e["key"], e.get("done", 0)
+    if done < high.get(key, 0):
+        print(f"campaign {key} progress regressed: {done} after {high[key]}",
+              file=sys.stderr)
+        sys.exit(1)
+    high[key] = done
+if not any(e.get("state") == "running" for e in campaigns):
+    print("no in-flight (running) campaign snapshot ever streamed", file=sys.stderr)
+    sys.exit(1)
+EOF
 
 metrics=$(curl -fsS "http://$coord_addr/metrics")
 dispatched=$(echo "$metrics" | awk '/^resmod_dist_shards_dispatched_total / {print $2}')
