@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race cover bench gobench experiments report serve smoke trace distcheck clean
+.PHONY: all build fmt vet test test-short race cover bench gobench microbench experiments report serve smoke trace distcheck clean
 
 all: build test
 
@@ -36,7 +36,7 @@ cover:
 BENCH_TRIALS ?= 100
 BENCH_SMALL  ?= 4
 BENCH_LARGE  ?= 16
-BENCH_PR     ?= 7
+BENCH_PR     ?= 9
 BENCH_OUT    ?= BENCH_pr$(BENCH_PR).json
 bench:
 	$(GO) run ./cmd/resmod bench -trials $(BENCH_TRIALS) \
@@ -46,6 +46,13 @@ bench:
 # scheduler bench above.
 gobench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path micro-benchmark smoke: one iteration each over the trial
+# engine's hot packages, so CI verifies the benchmarks compile and run
+# without paying for stable timings.
+microbench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem \
+		./internal/fpe/ ./internal/simmpi/ ./internal/faultsim/
 
 # Regenerate every table and figure (console form).
 experiments:

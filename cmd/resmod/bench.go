@@ -23,12 +23,18 @@ type benchResult struct {
 	// GoMaxProcs is the core budget the run actually had; the concurrent
 	// scheduler cannot beat sequential execution on one core, so readers
 	// must interpret Speedup against it.
-	GoMaxProcs int      `json:"go_maxprocs"`
-	Apps       []string `json:"apps"`
-	Trials     int      `json:"trials"`
-	Seed       uint64   `json:"seed"`
-	Small      int      `json:"small"`
-	Large      int      `json:"large"`
+	GoMaxProcs int `json:"go_maxprocs"`
+	// NumCPU is the host's visible core count, recorded separately from
+	// GoMaxProcs so a Speedup near 1.0 is attributable: on a one-core
+	// host the concurrent scheduler has no parallelism to exploit and
+	// ~1.0x (or slightly below, from scheduling overhead) is the expected
+	// honest result, not a regression.
+	NumCPU int      `json:"num_cpu"`
+	Apps   []string `json:"apps"`
+	Trials int      `json:"trials"`
+	Seed   uint64   `json:"seed"`
+	Small  int      `json:"small"`
+	Large  int      `json:"large"`
 	// CampaignParallel is the concurrent run's campaign-slot count.
 	CampaignParallel int `json:"campaign_parallel"`
 	// SequentialNS and ConcurrentNS are the PredictAll wall times with
@@ -82,6 +88,11 @@ func doBench(ctx context.Context, o options, out, errw io.Writer) error {
 		procs = runtime.NumCPU()
 	}
 	runtime.GOMAXPROCS(procs)
+	if procs == 1 {
+		fmt.Fprintf(errw, "bench: warning: running on 1 core (num_cpu=%d); "+
+			"concurrent and distributed speedups measure scheduling overhead, not parallelism\n",
+			runtime.NumCPU())
+	}
 
 	run := func(parallel int, distribute func(context.Context, faultsim.Campaign, *faultsim.Golden) (*faultsim.Summary, bool, error)) (time.Duration, []exper.PredictionRow, map[string]string, error) {
 		recs := make(map[string]string)
@@ -206,6 +217,7 @@ func doBench(ctx context.Context, o options, out, errw io.Writer) error {
 	res := benchResult{
 		Bench:            "predict_all",
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
 		Apps:             names,
 		Trials:           o.trials,
 		Seed:             o.seed,

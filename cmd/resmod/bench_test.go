@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchCommandSchema runs a tiny bench workload and checks the JSON
+// artifact carries the host-attribution fields (go_maxprocs and num_cpu)
+// and the determinism flags — the contract downstream trajectory readers
+// (BENCH_pr*.json diffs, CI) depend on.
+func TestBenchCommandSchema(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "bench.json")
+	var out, errw bytes.Buffer
+	err := run(context.Background(), []string{
+		"bench", "-quiet", "-out", outFile,
+		"-apps", "PENNANT", "-trials", "4", "-small", "2", "-large", "4",
+		"-maxprocs", "1", "-dist-workers", "0",
+	}, &out, &errw)
+	if err != nil {
+		t.Fatalf("bench: %v\nstderr: %s", err, errw.String())
+	}
+	// Pinned to one core, the run must warn that speedups measure
+	// scheduling overhead rather than parallelism.
+	if !strings.Contains(errw.String(), "warning: running on 1 core") {
+		t.Errorf("missing 1-core warning on stderr:\n%s", errw.String())
+	}
+	b, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res benchResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("artifact not valid JSON: %v\n%s", err, b)
+	}
+	if res.GoMaxProcs != 1 {
+		t.Errorf("go_maxprocs = %d, want 1 (pinned)", res.GoMaxProcs)
+	}
+	if res.NumCPU < 1 {
+		t.Errorf("num_cpu = %d, want >= 1", res.NumCPU)
+	}
+	if !res.Identical {
+		t.Error("identical = false; concurrent run diverged")
+	}
+	if res.SequentialNS <= 0 || res.ConcurrentNS <= 0 {
+		t.Errorf("non-positive wall times: seq=%d con=%d", res.SequentialNS, res.ConcurrentNS)
+	}
+}

@@ -34,17 +34,74 @@ func Execute(app App, class string, procs int, plans map[int][]fpe.Injection, ti
 // ExecuteCtx is Execute under a context: cancellation aborts the simulated
 // world promptly and surfaces as an Err wrapping simmpi.ErrCanceled —
 // distinct from the application outcomes (*simmpi.PanicError, ErrTimeout).
+// Every call builds fresh execution state; callers that execute many
+// same-shaped runs should hold an Arena instead.
 func ExecuteCtx(ctx context.Context, app App, class string, procs int, plans map[int][]fpe.Injection, timeout time.Duration) ExecResult {
-	outputs := make([]RankOutput, procs)
-	ctxs := make([]*fpe.Ctx, procs)
-	for r := 0; r < procs; r++ {
-		if plan, ok := plans[r]; ok {
-			ctxs[r] = fpe.NewWithPlan(plan)
-		} else {
-			ctxs[r] = fpe.New()
+	return (*Arena)(nil).ExecuteCtx(ctx, app, class, procs, plans, timeout)
+}
+
+// Arena is a reuse pool for repeated executions: the simulated world's
+// channel fabric (simmpi.Engine), the per-rank instrumented fpe contexts,
+// and the output slice are built once and reset per run, so steady-state
+// trial execution allocates only what the application itself allocates.
+//
+// An Arena is owned by a single goroutine (one campaign worker) and must
+// not be used concurrently.  The ExecResult's Ctxs and Outputs slices are
+// arena-owned: they are valid until the next ExecuteCtx call on the same
+// arena and must not be retained across it.  Reuse never changes results:
+// a pooled execution is bit-identical to a fresh one (the fpe reset and
+// engine reuse contracts), which is what keeps campaign determinism
+// intact.  A nil *Arena is valid and falls back to fresh allocations.
+type Arena struct {
+	procs   int
+	timeout time.Duration
+	engine  *simmpi.Engine
+	ctxs    []*fpe.Ctx
+	outputs []RankOutput
+}
+
+// NewArena returns an empty arena; the pooled state is built lazily from
+// the first execution's shape and rebuilt if the shape changes.
+func NewArena() *Arena { return &Arena{} }
+
+// Discard drops the pooled state, forcing the next execution to rebuild
+// it.  Callers use it when an execution ended in a state they no longer
+// trust (e.g. after containing a harness panic).
+func (a *Arena) Discard() {
+	if a == nil {
+		return
+	}
+	a.procs, a.engine, a.ctxs, a.outputs = 0, nil, nil, nil
+}
+
+// ExecuteCtx is the pooled equivalent of the package-level ExecuteCtx.
+func (a *Arena) ExecuteCtx(ctx context.Context, app App, class string, procs int, plans map[int][]fpe.Injection, timeout time.Duration) ExecResult {
+	var engine *simmpi.Engine
+	var ctxs []*fpe.Ctx
+	var outputs []RankOutput
+	if a != nil && a.procs == procs && a.timeout == timeout && a.engine != nil {
+		engine, ctxs, outputs = a.engine, a.ctxs, a.outputs
+		for r := 0; r < procs; r++ {
+			ctxs[r].ResetPlan(plans[r])
+			outputs[r] = RankOutput{}
+		}
+	} else {
+		eng, err := simmpi.NewEngine(simmpi.Config{Procs: procs, Timeout: timeout})
+		if err != nil {
+			return ExecResult{Err: err}
+		}
+		engine = eng
+		ctxs = make([]*fpe.Ctx, procs)
+		outputs = make([]RankOutput, procs)
+		for r := 0; r < procs; r++ {
+			ctxs[r] = fpe.NewWithPlan(plans[r])
+		}
+		if a != nil {
+			a.procs, a.timeout = procs, timeout
+			a.engine, a.ctxs, a.outputs = engine, ctxs, outputs
 		}
 	}
-	st, err := simmpi.RunCtx(ctx, simmpi.Config{Procs: procs, Timeout: timeout}, func(c *simmpi.Comm) error {
+	st, err := engine.RunCtx(ctx, func(c *simmpi.Comm) error {
 		out, rerr := app.Run(ctxs[c.Rank()], c, class)
 		if rerr != nil {
 			return rerr

@@ -1,0 +1,69 @@
+package faultsim
+
+import (
+	"context"
+	"testing"
+
+	"resmod/internal/apps"
+	"resmod/internal/stats"
+
+	_ "resmod/internal/apps/cg"
+)
+
+// benchGolden computes one golden run for the benchmark configuration.
+func benchGolden(b *testing.B, name, class string, procs int) *Golden {
+	b.Helper()
+	app, err := apps.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := ComputeGolden(app, class, procs, apps.DefaultTimeout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkTrial measures one whole fault-injection trial — plan draw,
+// world construction, application execution, contamination comparison —
+// the unit the campaign engine repeats Trials times, without pooling.
+func BenchmarkTrial(b *testing.B) {
+	benchTrial(b, nil)
+}
+
+// BenchmarkTrialPooled is BenchmarkTrial on a worker arena, the
+// campaign engine's steady-state configuration.
+func BenchmarkTrialPooled(b *testing.B) {
+	benchTrial(b, apps.NewArena())
+}
+
+func benchTrial(b *testing.B, arena *apps.Arena) {
+	golden := benchGolden(b, "CG", "S", 4)
+	c := Campaign{App: golden.App, Class: "S", Procs: 4, Trials: 1 << 30, Seed: 2018}
+	c = c.Normalized()
+	base := stats.NewRNG(c.Seed)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runTrial(ctx, c, golden, base.Split(uint64(i)), arena); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaign measures a small end-to-end campaign (sequential
+// workers, no checkpointing), the engine's steady-state workload.
+func BenchmarkCampaign(b *testing.B) {
+	golden := benchGolden(b, "CG", "S", 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := Campaign{
+			App: golden.App, Class: "S", Procs: 4,
+			Trials: 32, Seed: 2018, Workers: 1,
+		}
+		if _, err := RunAgainst(c, golden); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -448,6 +448,11 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 				bspan.SetAttr(telemetry.Int("trials", done))
 				bspan.End()
 			}()
+			// One arena per worker: trials reuse the simulated world's
+			// channel fabric and the per-rank fpe contexts instead of
+			// rebuilding them, cutting steady-state per-trial allocation
+			// to what the application itself allocates.
+			arena := apps.NewArena()
 			for t := w; t < c.Trials; t += c.Workers {
 				if ctx.Err() != nil {
 					return
@@ -463,7 +468,7 @@ func RunAgainstCtx(ctx context.Context, c Campaign, golden *Golden) (*Summary, e
 					return
 				}
 				t0 := time.Now()
-				rec, err := runTrialResilient(ctx, c, golden, base, t, sink, agg)
+				rec, err := runTrialResilient(ctx, c, golden, base, t, sink, agg, arena)
 				c.Pool.Release()
 				if err != nil {
 					if isInterruption(err) {
@@ -542,16 +547,18 @@ func isInterruption(err error) bool {
 // escaping the harness are recovered, and abnormal trials are retried with
 // bounded exponential backoff (each retry counted into the sink and the
 // aggregate's live-snapshot tally).  Retries replay the identical trial —
-// the RNG stream is re-split from the base per attempt.
-func runTrialResilient(ctx context.Context, c Campaign, golden *Golden, base *stats.RNG, t int, sink telemetry.Sink, agg *aggregate) (TrialRecord, error) {
+// the RNG stream is re-split from the base per attempt, and the worker's
+// arena is discarded first so the replay runs on provably fresh state.
+func runTrialResilient(ctx context.Context, c Campaign, golden *Golden, base *stats.RNG, t int, sink telemetry.Sink, agg *aggregate, arena *apps.Arena) (TrialRecord, error) {
 	backoff := retryBackoffBase
 	var rec TrialRecord
 	var err error
 	for attempt := 0; ; attempt++ {
-		rec, err = runTrialContained(ctx, c, golden, base.Split(uint64(t)))
+		rec, err = runTrialContained(ctx, c, golden, base.Split(uint64(t)), arena)
 		if err == nil || isInterruption(err) {
 			return rec, err
 		}
+		arena.Discard()
 		if attempt >= c.AbnormalRetries {
 			return rec, fmt.Errorf("faultsim: trial %d failed abnormally after %d attempt(s): %w",
 				t, attempt+1, err)
@@ -574,13 +581,13 @@ func runTrialResilient(ctx context.Context, c Campaign, golden *Golden, base *st
 // harness (injection drawing, outcome classification, a panicking
 // application Verify) is contained to this trial and reported as an
 // abnormal error instead of killing the whole campaign.
-func runTrialContained(ctx context.Context, c Campaign, golden *Golden, rng *stats.RNG) (rec TrialRecord, err error) {
+func runTrialContained(ctx context.Context, c Campaign, golden *Golden, rng *stats.RNG, arena *apps.Arena) (rec TrialRecord, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = fmt.Errorf("faultsim: harness panic: %v", v)
 		}
 	}()
-	return runTrial(ctx, c, golden, rng)
+	return runTrial(ctx, c, golden, rng, arena)
 }
 
 // aggregate is the shared, lock-protected campaign state: the done-trial
@@ -783,8 +790,9 @@ func drawFor(c Campaign, golden *Golden, rng *stats.RNG, rank, k int) ([]fpe.Inj
 	}
 }
 
-// runTrial executes one fault injection test.
-func runTrial(ctx context.Context, c Campaign, golden *Golden, rng *stats.RNG) (TrialRecord, error) {
+// runTrial executes one fault injection test.  arena (nil-safe) pools
+// the execution state across a worker's trials.
+func runTrial(ctx context.Context, c Campaign, golden *Golden, rng *stats.RNG, arena *apps.Arena) (TrialRecord, error) {
 	target := 0
 	if c.Procs > 1 {
 		target = rng.Intn(c.Procs)
@@ -813,7 +821,7 @@ func runTrial(ctx context.Context, c Campaign, golden *Golden, rng *stats.RNG) (
 		plans[target] = plan
 	}
 
-	res := apps.ExecuteCtx(ctx, golden.App, golden.Class, c.Procs, plans, c.Timeout)
+	res := arena.ExecuteCtx(ctx, golden.App, golden.Class, c.Procs, plans, c.Timeout)
 	fired := 0
 	for r := range plans {
 		fired += res.Ctxs[r].Fired()
@@ -828,8 +836,17 @@ func runTrial(ctx context.Context, c Campaign, golden *Golden, rng *stats.RNG) (
 		// Cancellation and harness problems are not application outcomes.
 		return rec, res.Err
 	}
+	// Hash-first contamination check: a rank whose state hash matches the
+	// golden hash is bit-identical (so never diverged, whatever the
+	// tolerance); only mismatching ranks — the contaminated few — pay the
+	// element-wise comparison.
+	hashes := golden.StateHashes()
 	for r := 0; r < c.Procs; r++ {
-		if diverged(res.Outputs[r].State, golden.States[r], c.ContaminationTol) {
+		st := res.Outputs[r].State
+		if hashState(st) == hashes[r] {
+			continue
+		}
+		if diverged(st, golden.States[r], c.ContaminationTol) {
 			rec.Contaminated++
 			rec.Distances = append(rec.Distances, ringDistance(r, target, c.Procs))
 		}

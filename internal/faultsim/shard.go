@@ -125,6 +125,10 @@ func RunShardCtx(ctx context.Context, c Campaign, golden *Golden, start, end int
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// One arena per worker, exactly as in RunAgainstCtx: pooled
+			// state never affects trial results, so shard execution stays
+			// bit-identical to local execution.
+			arena := apps.NewArena()
 			for t := start + w; t < end; t += c.Workers {
 				if ctx.Err() != nil {
 					return
@@ -133,7 +137,7 @@ func RunShardCtx(ctx context.Context, c Campaign, golden *Golden, start, end int
 					return
 				}
 				t0 := time.Now()
-				rec, err := runTrialResilient(ctx, c, golden, base, t, sink, agg)
+				rec, err := runTrialResilient(ctx, c, golden, base, t, sink, agg, arena)
 				c.Pool.Release()
 				if err != nil {
 					if isInterruption(err) {

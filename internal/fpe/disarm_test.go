@@ -1,0 +1,236 @@
+package fpe
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"resmod/internal/stats"
+)
+
+// refCtx is a reference oracle for the instrumented datapath: the
+// original (pre-disarm) semantics, scanning every planned stream on
+// every operation with no exhausted-group skipping and no fast path.
+// The disarm optimization must be observationally identical to it.
+type refCtx struct {
+	class    RegionClass
+	counters [numClasses]uint64
+	kinds    [numClasses][4]uint64
+	groups   []injGroup
+	records  []Record
+	region   string
+}
+
+func newRefCtx(plan []Injection) *refCtx {
+	r := &refCtx{}
+	for _, inj := range plan {
+		gi := -1
+		for i := range r.groups {
+			if r.groups[i].class == inj.Class && r.groups[i].kindMask == inj.KindMask {
+				gi = i
+				break
+			}
+		}
+		if gi < 0 {
+			r.groups = append(r.groups, injGroup{class: inj.Class, kindMask: inj.KindMask})
+			gi = len(r.groups) - 1
+		}
+		r.groups[gi].queue = append(r.groups[gi].queue, inj)
+	}
+	for i := range r.groups {
+		sortInjections(r.groups[i].queue)
+	}
+	return r
+}
+
+func (r *refCtx) op(op OpKind, a, b float64) (float64, float64) {
+	cl := r.class
+	r.counters[cl]++
+	r.kinds[cl][op]++
+	for gi := range r.groups {
+		g := &r.groups[gi]
+		if g.class != cl || (g.kindMask != 0 && g.kindMask&(1<<uint(op)) == 0) {
+			continue
+		}
+		idx := g.ctr
+		g.ctr = idx + 1
+		for g.pos < len(g.queue) && g.queue[g.pos].Index == idx {
+			inj := g.queue[g.pos]
+			g.pos++
+			var before, after float64
+			if inj.Operand == 0 {
+				before, a = a, inj.corrupt(a)
+				after = a
+			} else {
+				before, b = b, inj.corrupt(b)
+				after = b
+			}
+			r.records = append(r.records, Record{
+				Injection: inj, Op: op, Region: r.region, Before: before, After: after,
+			})
+		}
+	}
+	return a, b
+}
+
+// recordsEqual compares record lists bit-exactly (reflect.DeepEqual
+// would treat an injected NaN as unequal to itself).
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Injection != y.Injection || x.Op != y.Op || x.Region != y.Region ||
+			math.Float64bits(x.Before) != math.Float64bits(y.Before) ||
+			math.Float64bits(x.After) != math.Float64bits(y.After) {
+			return false
+		}
+	}
+	return true
+}
+
+// driveBoth replays one pseudo-random operation sequence through the
+// real context and the oracle, returning the two running sums.
+func driveBoth(c *Ctx, r *refCtx, rng *stats.RNG, n int) (float64, float64) {
+	sc, sr := 1.0, 1.0
+	for i := 0; i < n; i++ {
+		// Occasionally flip between region classes so both class streams
+		// advance (named region on the real ctx, bare class on the oracle).
+		if rng.Intn(7) == 0 {
+			if c.Class() == Common {
+				end := c.Begin("u", Unique)
+				r.class, r.region = Unique, "u"
+				defer func() { end(); r.class, r.region = Common, "" }()
+			}
+		}
+		x := float64(rng.Intn(9) + 1)
+		switch rng.Intn(3) {
+		case 0:
+			a, b := r.op(OpAdd, sr, x)
+			sr = a + b
+			sc = c.Add(sc, x)
+		case 1:
+			a, b := r.op(OpSub, sr, x)
+			sr = a - b
+			sc = c.Sub(sc, x)
+		default:
+			a, b := r.op(OpMul, sr, 1+x/16)
+			sr = a * b
+			sc = c.Mul(sc, 1+x/16)
+		}
+	}
+	return sc, sr
+}
+
+func sameObservations(t *testing.T, c *Ctx, r *refCtx, sc, sr float64) {
+	t.Helper()
+	if math.Float64bits(sc) != math.Float64bits(sr) {
+		t.Fatalf("running sums diverged: %g vs oracle %g", sc, sr)
+	}
+	if c.Counts() != (Counts{Common: r.counters[Common], Unique: r.counters[Unique]}) {
+		t.Fatalf("Counts = %+v, oracle %+v", c.Counts(), r.counters)
+	}
+	if c.KindCounts() != (KindCounts{ByClassKind: r.kinds}) {
+		t.Fatalf("KindCounts = %+v, oracle %+v", c.KindCounts(), r.kinds)
+	}
+	if !recordsEqual(c.Records(), r.records) {
+		t.Fatalf("Records = %+v, oracle %+v", c.Records(), r.records)
+	}
+}
+
+// TestDisarmMatchesFullScanSemantics is the exhausted-stream regression
+// test: across randomized plans (multiple streams, kind masks, shared
+// indices) and operation sequences running far past the last planned
+// index, the disarmed datapath's Counts, KindCounts and Records are
+// bit-identical to the always-scan reference semantics.
+func TestDisarmMatchesFullScanSemantics(t *testing.T) {
+	rng := stats.NewRNG(41)
+	for trial := 0; trial < 200; trial++ {
+		k := rng.Intn(4)
+		plan := make([]Injection, 0, k+1)
+		for i := 0; i <= k; i++ {
+			inj := Injection{
+				Class:   RegionClass(rng.Intn(2)),
+				Index:   uint64(rng.Intn(40)), // indices may collide: multi-fire
+				Bit:     uint(rng.Intn(64)),
+				Operand: rng.Intn(2),
+			}
+			if rng.Intn(2) == 0 {
+				inj.KindMask = uint8(rng.Intn(7) + 1)
+			}
+			plan = append(plan, inj)
+		}
+		c := NewWithPlan(plan)
+		r := newRefCtx(plan)
+		seq := stats.NewRNG(uint64(1000 + trial))
+		// 400 ops per class stream upper-bounds index 40: every stream
+		// runs well past its last planned injection, exercising the
+		// disarmed tail.
+		sc, sr := driveBoth(c, r, seq, 400)
+		sameObservations(t, c, r, sc, sr)
+		if c.Pending() != 0 && c.Fired()+c.Pending() != len(plan) {
+			t.Fatalf("fired %d + pending %d != planned %d", c.Fired(), c.Pending(), len(plan))
+		}
+	}
+}
+
+// TestPooledCtxMatchesFresh asserts a reused (ResetPlan) context is
+// observationally identical to a freshly constructed one over the same
+// plan and operation sequence — the pooling determinism contract.
+func TestPooledCtxMatchesFresh(t *testing.T) {
+	pooled := New()
+	rng := stats.NewRNG(97)
+	for trial := 0; trial < 100; trial++ {
+		plan := []Injection{
+			{Class: Common, Index: uint64(rng.Intn(30)), Bit: uint(rng.Intn(64))},
+			{Class: Unique, Index: uint64(rng.Intn(30)), Bit: 5, KindMask: 1 << OpMul},
+		}
+		fresh := NewWithPlan(plan)
+		pooled.ResetPlan(plan)
+		run := func(c *Ctx, seed uint64) float64 {
+			seq := stats.NewRNG(seed)
+			s := 1.0
+			end := func() {}
+			for i := 0; i < 200; i++ {
+				if i == 50 {
+					end = c.Begin("halo", Unique)
+				}
+				if i == 150 {
+					end()
+				}
+				x := 1 + float64(seq.Intn(5))
+				switch seq.Intn(3) {
+				case 0:
+					s = c.Add(s, x)
+				case 1:
+					s = c.Sub(s, x)
+				default:
+					s = c.Mul(s, 1+x/8)
+				}
+			}
+			return s
+		}
+		seed := uint64(trial)
+		sf, sp := run(fresh, seed), run(pooled, seed)
+		if math.Float64bits(sf) != math.Float64bits(sp) {
+			t.Fatalf("trial %d: pooled sum %g != fresh %g", trial, sp, sf)
+		}
+		if fresh.Counts() != pooled.Counts() {
+			t.Fatalf("trial %d: pooled Counts %+v != fresh %+v", trial, pooled.Counts(), fresh.Counts())
+		}
+		if fresh.KindCounts() != pooled.KindCounts() {
+			t.Fatalf("trial %d: pooled KindCounts differ", trial)
+		}
+		if !recordsEqual(fresh.Records(), pooled.Records()) {
+			t.Fatalf("trial %d: pooled Records %+v != fresh %+v", trial, pooled.Records(), fresh.Records())
+		}
+		if !reflect.DeepEqual(fresh.RegionCounts(), pooled.RegionCounts()) {
+			t.Fatalf("trial %d: pooled RegionCounts %+v != fresh %+v",
+				trial, pooled.RegionCounts(), fresh.RegionCounts())
+		}
+		if fresh.Divs() != pooled.Divs() {
+			t.Fatalf("trial %d: Divs differ", trial)
+		}
+	}
+}

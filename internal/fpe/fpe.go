@@ -203,26 +203,84 @@ type Ctx struct {
 	kinds    [numClasses][4]uint64 // injectable ops per class and kind
 	divs     uint64                // non-injectable ops (accounting only)
 
+	// armed counts the plan groups that still hold unfired injections.
+	armed int
+
+	// trigger[class] is the dynamic index within that class's injectable
+	// stream at which the next unmasked (KindMask==0) injection fires, or
+	// noTrigger when none is pending.  Because an unmasked group's stream
+	// index IS the class counter, the datapath reduces the whole armed
+	// check to one integer comparison per op: clean runs, clean ranks,
+	// the pre-fire window, and the post-fire tail all pay the same
+	// counter-increment fast path.
+	trigger [numClasses]uint64
+
+	// scanArmed is nonzero only for plans containing kind-masked
+	// (KindMask!=0) groups, whose stream indexes depend on the op-kind
+	// mix and cannot be predicted by a class trigger.  Such plans fall
+	// back to the legacy per-op group scan until every group is
+	// exhausted.  Real campaigns draw unmasked plans, so this path is
+	// cold.
+	scanArmed int
+
 	// groups holds the plan's injections grouped by stream; empty for
 	// clean runs, so the hot path pays only the counter increments.
 	groups []injGroup
 
 	records []Record
 
-	stack        []regionFrame
+	stack []regionFrame
+	// regionTotals is allocated lazily on the first closed named region,
+	// so region-free executions never pay for the map.
 	regionTotals map[string]Counts
 }
+
+// noTrigger marks a class stream with no pending unmasked injection.
+const noTrigger = math.MaxUint64
 
 // New returns a context with no planned injections and the Common class
 // active.
 func New() *Ctx {
-	return &Ctx{regionTotals: make(map[string]Counts)}
+	return &Ctx{trigger: [numClasses]uint64{noTrigger, noTrigger}}
 }
 
 // NewWithPlan returns a context that will execute the given injections.
 // The plan slice is copied, grouped by stream, and sorted internally.
 func NewWithPlan(plan []Injection) *Ctx {
 	c := New()
+	c.loadPlan(plan)
+	return c
+}
+
+// Reset returns the context to its freshly-constructed clean state (no
+// plan, Common class active, all counters zero) while keeping the
+// allocated capacity — group slots, record storage, the region map — so
+// steady-state reuse across many executions allocates nothing.  The
+// slices previously returned by Records must not be retained across a
+// Reset.
+func (c *Ctx) Reset() { c.ResetPlan(nil) }
+
+// ResetPlan is Reset followed by loading a new injection plan, the pooled
+// equivalent of NewWithPlan.
+func (c *Ctx) ResetPlan(plan []Injection) {
+	c.class = Common
+	c.counters = [numClasses]uint64{}
+	c.kinds = [numClasses][4]uint64{}
+	c.divs = 0
+	c.armed = 0
+	c.trigger = [numClasses]uint64{noTrigger, noTrigger}
+	c.scanArmed = 0
+	c.groups = c.groups[:0]
+	c.records = c.records[:0]
+	c.stack = c.stack[:0]
+	clear(c.regionTotals)
+	c.loadPlan(plan)
+}
+
+// loadPlan groups the plan by (class, kindMask) stream and arms the
+// context.  Group slots retired by a ResetPlan keep their queue storage,
+// so reloading a same-shaped plan allocates nothing.
+func (c *Ctx) loadPlan(plan []Injection) {
 	for _, inj := range plan {
 		cl := inj.Class
 		if cl != Common && cl != Unique {
@@ -236,15 +294,46 @@ func NewWithPlan(plan []Injection) *Ctx {
 			}
 		}
 		if gi < 0 {
-			c.groups = append(c.groups, injGroup{class: cl, kindMask: inj.KindMask})
-			gi = len(c.groups) - 1
+			gi = c.grabGroup(cl, inj.KindMask)
 		}
 		c.groups[gi].queue = append(c.groups[gi].queue, inj)
 	}
 	for i := range c.groups {
 		sortInjections(c.groups[i].queue)
 	}
-	return c
+	c.armed = len(c.groups)
+	masked := false
+	for i := range c.groups {
+		if c.groups[i].kindMask != 0 {
+			masked = true
+			break
+		}
+	}
+	if masked {
+		c.scanArmed = len(c.groups)
+		return
+	}
+	// Unmasked plans (at most one group per class after grouping): arm
+	// the per-class triggers so the datapath fires by index comparison.
+	for i := range c.groups {
+		g := &c.groups[i]
+		c.trigger[g.class] = g.queue[0].Index
+	}
+}
+
+// grabGroup appends a fresh group slot, reusing the backing array (and
+// the retired slot's queue capacity) left behind by a ResetPlan.
+func (c *Ctx) grabGroup(cl RegionClass, kindMask uint8) int {
+	n := len(c.groups)
+	if n < cap(c.groups) {
+		c.groups = c.groups[:n+1]
+		g := &c.groups[n]
+		g.class, g.kindMask, g.ctr, g.pos = cl, kindMask, 0, 0
+		g.queue = g.queue[:0]
+	} else {
+		c.groups = append(c.groups, injGroup{class: cl, kindMask: kindMask})
+	}
+	return n
 }
 
 // sortInjections sorts by Index ascending (insertion sort; plans are tiny).
@@ -279,6 +368,9 @@ func (c *Ctx) End() {
 	f := c.stack[n-1]
 	c.stack = c.stack[:n-1]
 	c.class = f.prev
+	if c.regionTotals == nil {
+		c.regionTotals = make(map[string]Counts, 4)
+	}
 	t := c.regionTotals[f.name]
 	t.Common += c.counters[Common] - f.snap[Common]
 	t.Unique += c.counters[Unique] - f.snap[Unique]
@@ -301,9 +393,18 @@ func (c *Ctx) KindCounts() KindCounts {
 // Divs returns the count of instrumented non-injectable operations.
 func (c *Ctx) Divs() uint64 { return c.divs }
 
+// emptyRegions is the shared result for region-free executions, so
+// RegionCounts never allocates for them.  Callers treat RegionCounts
+// results as read-only.
+var emptyRegions = map[string]Counts{}
+
 // RegionCounts returns per-named-region injectable operation counts.
-// Only fully closed region instances are included.
+// Only fully closed region instances are included.  The result must be
+// treated as read-only: region-free executions share one empty map.
 func (c *Ctx) RegionCounts() map[string]Counts {
+	if len(c.regionTotals) == 0 {
+		return emptyRegions
+	}
 	out := make(map[string]Counts, len(c.regionTotals))
 	for k, v := range c.regionTotals {
 		out[k] = v
@@ -326,23 +427,33 @@ func (c *Ctx) Pending() int {
 	return n
 }
 
-// maybeInject advances the stream counters for the active class and, if an
-// injection is due at this dynamic index of any planned stream, corrupts
-// the operands.
-func (c *Ctx) maybeInject(op OpKind, a, b float64) (float64, float64) {
+// inject fires the injections due at the current op and corrupts the
+// operands.  It is the slow path, reached in exactly two cases: the
+// class trigger matched idx (an unmasked injection is due on THIS op),
+// or scanArmed > 0 (a kind-masked plan needs the legacy per-op group
+// scan).  idx is the op's pre-increment dynamic index within the active
+// class's stream, which for unmasked groups IS the group's stream index.
+func (c *Ctx) inject(op OpKind, idx uint64, a, b float64) (float64, float64) {
 	cl := c.class
-	c.counters[cl]++
-	c.kinds[cl][op]++
+	scan := c.scanArmed != 0
 	for gi := range c.groups {
 		g := &c.groups[gi]
+		if g.pos >= len(g.queue) {
+			continue // exhausted stream: nothing left to fire
+		}
 		if g.class != cl || (g.kindMask != 0 && g.kindMask&(1<<uint(op)) == 0) {
 			continue
 		}
-		idx := g.ctr
-		g.ctr = idx + 1
+		gidx := idx
+		if scan {
+			// Legacy mode: a masked group's stream counts only matching
+			// ops, so its index advances here, per call.
+			gidx = g.ctr
+			g.ctr = gidx + 1
+		}
 		// Multiple injections may share an index (distinct faults); fire
 		// them all.
-		for g.pos < len(g.queue) && g.queue[g.pos].Index == idx {
+		for g.pos < len(g.queue) && g.queue[g.pos].Index == gidx {
 			inj := g.queue[g.pos]
 			g.pos++
 			var before, after float64
@@ -363,25 +474,60 @@ func (c *Ctx) maybeInject(op OpKind, a, b float64) (float64, float64) {
 				Injection: inj, Op: op, Region: name, Before: before, After: after,
 			})
 		}
+		if g.pos == len(g.queue) {
+			c.armed--
+			if scan {
+				c.scanArmed--
+			}
+		}
+	}
+	if !scan {
+		// Re-arm this class's trigger at the next pending head (strictly
+		// beyond idx: everything due at idx just fired).
+		c.trigger[cl] = noTrigger
+		for gi := range c.groups {
+			g := &c.groups[gi]
+			if g.class == cl && g.pos < len(g.queue) {
+				c.trigger[cl] = g.queue[g.pos].Index
+			}
+		}
 	}
 	return a, b
 }
 
 // Add computes a+b through the instrumented datapath.
 func (c *Ctx) Add(a, b float64) float64 {
-	a, b = c.maybeInject(OpAdd, a, b)
+	cl := c.class
+	idx := c.counters[cl]
+	c.counters[cl] = idx + 1
+	c.kinds[cl][OpAdd]++
+	if idx == c.trigger[cl] || c.scanArmed != 0 {
+		a, b = c.inject(OpAdd, idx, a, b)
+	}
 	return a + b
 }
 
 // Sub computes a-b through the instrumented datapath.
 func (c *Ctx) Sub(a, b float64) float64 {
-	a, b = c.maybeInject(OpSub, a, b)
+	cl := c.class
+	idx := c.counters[cl]
+	c.counters[cl] = idx + 1
+	c.kinds[cl][OpSub]++
+	if idx == c.trigger[cl] || c.scanArmed != 0 {
+		a, b = c.inject(OpSub, idx, a, b)
+	}
 	return a - b
 }
 
 // Mul computes a*b through the instrumented datapath.
 func (c *Ctx) Mul(a, b float64) float64 {
-	a, b = c.maybeInject(OpMul, a, b)
+	cl := c.class
+	idx := c.counters[cl]
+	c.counters[cl] = idx + 1
+	c.kinds[cl][OpMul]++
+	if idx == c.trigger[cl] || c.scanArmed != 0 {
+		a, b = c.inject(OpMul, idx, a, b)
+	}
 	return a * b
 }
 

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race reports whether the race detector is compiled in, so
+// tests asserting exact allocation counts (testing.AllocsPerRun) can
+// skip themselves under -race, where the detector's shadow allocations
+// would fail them spuriously.
+package race
+
+// Enabled is true when the build has the race detector compiled in.
+const Enabled = false

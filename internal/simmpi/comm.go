@@ -24,12 +24,6 @@ type Comm struct {
 	tagShift int
 }
 
-// newRootComm builds the world communicator handle for one rank.
-func newRootComm(w *world, rank int) *Comm {
-	pending := make([][]message, w.size)
-	return &Comm{w: w, rank: rank, size: w.size, pending: &pending}
-}
-
 // Rank returns this rank's id in [0, Size) within this communicator.
 func (c *Comm) Rank() int { return c.rank }
 
@@ -69,13 +63,22 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 	cp := make([]float64, len(data))
 	copy(cp, data)
 	ch := c.w.chans[wdst*c.w.size+c.worldRank()]
+	m := message{tag: wtag, data: cp}
+	// Fast path: a non-blocking send avoids the full two-case select
+	// (runtime.selectgo) whenever the destination buffer has room — the
+	// overwhelmingly common case.  The abort channel only matters once
+	// the world is failing, and then only to unblock a full buffer.
 	select {
-	case ch <- message{tag: wtag, data: cp}:
-		c.w.msgCount.Add(1)
-		c.w.msgFloats.Add(uint64(len(cp)))
-	case <-c.w.abort:
-		panic(abortPanic{})
+	case ch <- m:
+	default:
+		select {
+		case ch <- m:
+		case <-c.w.abort:
+			panic(abortPanic{})
+		}
 	}
+	c.w.msgCount.Add(1)
+	c.w.msgFloats.Add(uint64(len(cp)))
 }
 
 // Recv blocks until a message with the given tag arrives from src and
@@ -96,15 +99,22 @@ func (c *Comm) Recv(src, tag int) []float64 {
 	}
 	ch := c.w.chans[c.worldRank()*c.w.size+wsrc]
 	for {
+		// Fast path: drain already-delivered messages without the full
+		// two-case select; fall back to blocking only on an empty buffer.
+		var m message
 		select {
-		case m := <-ch:
-			if m.tag == wtag {
-				return m.data
+		case m = <-ch:
+		default:
+			select {
+			case m = <-ch:
+			case <-c.w.abort:
+				panic(abortPanic{})
 			}
-			(*c.pending)[wsrc] = append((*c.pending)[wsrc], m)
-		case <-c.w.abort:
-			panic(abortPanic{})
 		}
+		if m.tag == wtag {
+			return m.data
+		}
+		(*c.pending)[wsrc] = append((*c.pending)[wsrc], m)
 	}
 }
 

@@ -139,31 +139,25 @@ func Run(cfg Config, fn func(c *Comm) error) (Stats, error) {
 // Ranks not blocked in communication finish their current compute section
 // before observing the abort.
 func RunCtx(ctx context.Context, cfg Config, fn func(c *Comm) error) (Stats, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return e.RunCtx(ctx, fn)
+}
+
+// runWorld executes fn on every rank of a prepared world.  pending holds
+// the per-rank unmatched-message stores (engine-owned, already emptied).
+func runWorld(ctx context.Context, w *world, timeout time.Duration, pending [][][]message, fn func(c *Comm) error) (Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.Procs < 1 {
-		return Stats{}, fmt.Errorf("simmpi: Procs must be >= 1, got %d", cfg.Procs)
-	}
-	cap := cfg.ChanCap
-	if cap <= 0 {
-		cap = 256
-	}
-	w := &world{
-		size:  cfg.Procs,
-		chans: make([]chan message, cfg.Procs*cfg.Procs),
-		abort: make(chan struct{}),
-	}
-	for i := range w.chans {
-		w.chans[i] = make(chan message, cap)
-	}
-
 	var wg sync.WaitGroup
-	wg.Add(cfg.Procs)
-	for r := 0; r < cfg.Procs; r++ {
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
 		go func(rank int) {
 			defer wg.Done()
-			comm := newRootComm(w, rank)
+			comm := &Comm{w: w, rank: rank, size: w.size, pending: &pending[rank]}
 			defer func() {
 				if v := recover(); v != nil {
 					if _, isAbort := v.(abortPanic); isAbort {
@@ -185,8 +179,8 @@ func RunCtx(ctx context.Context, cfg Config, fn func(c *Comm) error) (Stats, err
 	}()
 
 	var timerC <-chan time.Time
-	if cfg.Timeout > 0 {
-		timer := time.NewTimer(cfg.Timeout)
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
 		defer timer.Stop()
 		timerC = timer.C
 	}
