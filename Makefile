@@ -36,7 +36,7 @@ cover:
 BENCH_TRIALS ?= 100
 BENCH_SMALL  ?= 4
 BENCH_LARGE  ?= 16
-BENCH_PR     ?= 9
+BENCH_PR     ?= 10
 BENCH_OUT    ?= BENCH_pr$(BENCH_PR).json
 bench:
 	$(GO) run ./cmd/resmod bench -trials $(BENCH_TRIALS) \
@@ -52,7 +52,8 @@ gobench:
 # without paying for stable timings.
 microbench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem \
-		./internal/fpe/ ./internal/simmpi/ ./internal/faultsim/
+		./internal/fpe/ ./internal/simmpi/ ./internal/faultsim/ \
+		./internal/telemetry/
 
 # Regenerate every table and figure (console form).
 experiments:

@@ -488,8 +488,16 @@ func (ls *loadState) doGet(ctx context.Context, key, path string) {
 
 // loadReport is the machine-readable run summary (also what -out writes).
 type loadReport struct {
-	Target     string  `json:"target"`
-	Clients    int     `json:"clients"`
+	Target  string `json:"target"`
+	Clients int    `json:"clients"`
+	// StartedAt/EndedAt bracket the generation window in wall time (with
+	// unix-second twins) so a run can be correlated against the server's
+	// retained series: /v1/series?since=<start_unix> replays exactly the
+	// service's view of this load.
+	StartedAt  string  `json:"started_at"`
+	EndedAt    string  `json:"ended_at"`
+	StartUnix  int64   `json:"start_unix"`
+	EndUnix    int64   `json:"end_unix"`
 	DurationS  float64 `json:"duration_seconds"`
 	Requests   uint64  `json:"requests"`
 	OK         uint64  `json:"ok"`
@@ -523,9 +531,14 @@ type tenantReport struct {
 
 func (ls *loadState) report() loadReport {
 	snap := ls.lat.Snapshot()
+	ended := ls.started.Add(ls.finished)
 	rep := loadReport{
 		Target:    ls.opts.target,
 		Clients:   ls.opts.clients,
+		StartedAt: ls.started.UTC().Format(time.RFC3339),
+		EndedAt:   ended.UTC().Format(time.RFC3339),
+		StartUnix: ls.started.Unix(),
+		EndUnix:   ended.Unix(),
 		DurationS: ls.finished.Seconds(),
 		Requests:  ls.total.requests.Load(),
 		OK:        ls.total.ok.Load(),

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"resmod/internal/server"
 )
@@ -118,6 +119,15 @@ func TestLoadgenEndToEnd(t *testing.T) {
 	}
 	if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms {
 		t.Fatalf("latency quantiles inconsistent: p50=%v p99=%v", rep.P50Ms, rep.P99Ms)
+	}
+	// The wall-time window is what correlates a run against /v1/series.
+	if rep.StartUnix <= 0 || rep.EndUnix < rep.StartUnix {
+		t.Fatalf("wall-time window inconsistent: start=%d end=%d", rep.StartUnix, rep.EndUnix)
+	}
+	for _, stamp := range []string{rep.StartedAt, rep.EndedAt} {
+		if _, err := time.Parse(time.RFC3339, stamp); err != nil {
+			t.Fatalf("timestamp %q is not RFC3339: %v", stamp, err)
+		}
 	}
 	for _, line := range []string{"== loadgen ==", "throughput:", "fairness:"} {
 		if !strings.Contains(out.String(), line) {

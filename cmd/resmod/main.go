@@ -27,6 +27,8 @@
 //	worker    distributed execution node: registers with a coordinator and
 //	          executes dispatched trial-range shards
 //	loadgen   load-generation harness for a running serve instance
+//	top       live terminal dashboard for a running serve instance
+//	          (status, alerts, sparklines, fleet)
 //
 // Common flags: -trials, -seed, -apps, -workers, and the observability
 // trio every subcommand shares: -quiet (warnings only), -v (debug),
@@ -120,6 +122,9 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	}
 	if cmd == "worker" {
 		return doWorker(ctx, args[1:], out, errw)
+	}
+	if cmd == "top" {
+		return doTop(ctx, args[1:], out, errw)
 	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(errw)
@@ -234,6 +239,7 @@ service:     serve -listen HOST:PORT -store DIR -workers N -queue N -drain D
              -anon-rate/-anon-burst/-anon-inflight (anonymous-tier limits)
              -coordinator (shard campaigns across registered workers)
              -heartbeat-timeout D -shards-per-worker N (coordinator tuning)
+             -sample-every D (telemetry retention/alerting cadence)
 worker:      worker -coordinator URL -listen HOST:PORT -advertise URL
              -name NAME -campaign-workers N -heartbeat D
              -pprof-addr HOST:PORT (optional net/http/pprof listener;
@@ -241,6 +247,8 @@ worker:      worker -coordinator URL -listen HOST:PORT -advertise URL
 loadgen:     loadgen -target URL -clients N -duration D -mix predict=60,get=25,...
              -keys KEY,... -priorities normal=80,... -retries N -out FILE
              -fail-on-5xx (non-zero exit on any 5xx other than a drain 503)
+top:         top -target URL -interval D -once (live dashboard: status,
+             alerts, series sparklines, fleet; also see GET /debug/dash)
 flags: -trials N -seed N -apps CG,FT,... -workers N -campaign-parallel N -budget D
        -quiet (warnings only) -v (debug) -trace FILE (Chrome trace JSON)
        (predict only) -app NAME -class C -small S -large P

@@ -42,6 +42,7 @@ type serveOptions struct {
 	coordinator      bool
 	heartbeatTimeout time.Duration
 	shardsPerWorker  int
+	sampleEvery      time.Duration
 	tf               telFlags
 }
 
@@ -89,6 +90,9 @@ func (o serveOptions) validate() error {
 	}
 	if o.shardsPerWorker <= 0 {
 		return fmt.Errorf("-shards-per-worker must be positive, got %d", o.shardsPerWorker)
+	}
+	if o.sampleEvery <= 0 {
+		return fmt.Errorf("-sample-every must be positive, got %v", o.sampleEvery)
 	}
 	for _, f := range []struct {
 		name string
@@ -241,6 +245,8 @@ func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
 		"declare a worker dead after this long without a heartbeat (needs -coordinator)")
 	fs.IntVar(&o.shardsPerWorker, "shards-per-worker", dist.DefaultShardsPerWorker,
 		"trial-range chunks per alive worker when sharding a campaign (needs -coordinator)")
+	fs.DurationVar(&o.sampleEvery, "sample-every", 10*time.Second,
+		"telemetry sampling period for /v1/series retention and alert evaluation")
 	o.tf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -258,6 +264,7 @@ func doServe(ctx context.Context, args []string, out, errw io.Writer) error {
 		Workers: o.workers, Queue: o.queue,
 		CampaignWorkers:  o.campaignWorkers,
 		CampaignParallel: o.campaignParallel,
+		SampleEvery:      o.sampleEvery,
 		Logger:           rt.tel.Logger(),
 		Tracer:           rt.tracer,
 		TenantLimits: server.TenantLimits{

@@ -1,0 +1,304 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// resmod top is the terminal half of the operator surface: it polls a
+// running serve instance's read-only JSON endpoints (/v1/status,
+// /v1/alerts, /v1/cluster, /v1/series) and renders one live dashboard
+// frame per interval — in-place ANSI redraw on a TTY, rate-limited
+// plain frames off it.  It is a pure client: everything it shows can be
+// read with curl against the same endpoints.
+
+type topOptions struct {
+	target   string
+	interval time.Duration
+	once     bool
+}
+
+func (o topOptions) validate() error {
+	if o.target == "" {
+		return fmt.Errorf("-target is required (e.g. http://127.0.0.1:8080)")
+	}
+	if !strings.HasPrefix(o.target, "http://") && !strings.HasPrefix(o.target, "https://") {
+		return fmt.Errorf("-target %q must be an http:// or https:// URL", o.target)
+	}
+	if o.interval <= 0 {
+		return fmt.Errorf("-interval must be positive, got %v", o.interval)
+	}
+	return nil
+}
+
+// Local decode targets for the service's JSON documents: only the
+// fields the frame renders, so server-side additions never break top.
+type topStatus struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Workers       int            `json:"workers"`
+	QueueDepth    int            `json:"queue_depth"`
+	QueueCapacity int            `json:"queue_capacity"`
+	Jobs          map[string]int `json:"jobs"`
+	JobsTotal     int            `json:"jobs_total"`
+	Scheduler     struct {
+		CampaignsRunning  int `json:"campaigns_running"`
+		CampaignsQueued   int `json:"campaigns_queued"`
+		WorkerBudgetInUse int `json:"worker_budget_in_use"`
+		WorkerBudgetSize  int `json:"worker_budget_size"`
+	} `json:"scheduler"`
+}
+
+type topAlerts struct {
+	Alerts []struct {
+		Rule     string  `json:"rule"`
+		Instance string  `json:"instance"`
+		State    string  `json:"state"`
+		Value    float64 `json:"value"`
+	} `json:"alerts"`
+	Firing int `json:"firing"`
+}
+
+type topCluster struct {
+	Coordinator  bool `json:"coordinator"`
+	WorkersKnown int  `json:"workers_known"`
+	WorkersAlive int  `json:"workers_alive"`
+	Workers      []struct {
+		Name         string  `json:"name"`
+		Alive        bool    `json:"alive"`
+		LastSeenMS   int64   `json:"last_seen_ms"`
+		ShardsDone   uint64  `json:"shards_done"`
+		ShardsFailed uint64  `json:"shards_failed"`
+		TrialsPerSec float64 `json:"trials_per_sec"`
+		Stats        *struct {
+			ShardsInflight uint64 `json:"shards_inflight"`
+		} `json:"worker_stats"`
+	} `json:"workers"`
+}
+
+type topSeries struct {
+	Points []struct {
+		T int64   `json:"t"`
+		V float64 `json:"v"`
+	} `json:"points"`
+}
+
+// topClient fetches one endpoint into a decode target.
+type topClient struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *topClient) get(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// sparkSeries fetched per frame: name → frame label.
+var topSparks = []struct{ name, label string }{
+	{"trials_total", "trials/s"},
+	{"queue_depth", "queue"},
+	{"campaigns_running", "campaigns"},
+}
+
+// sparkline renders points as a fixed-width ASCII intensity strip —
+// the TTY stand-in for the dashboard's SVG sparklines.
+func sparkline(vs []float64, width int) string {
+	if len(vs) == 0 {
+		return strings.Repeat(" ", width)
+	}
+	if len(vs) > width {
+		vs = vs[len(vs)-width:]
+	}
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	levels := []byte(" .:-=+*#")
+	var b strings.Builder
+	for i := 0; i < width-len(vs); i++ {
+		b.WriteByte(' ')
+	}
+	for _, v := range vs {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(levels)-1))
+		}
+		b.WriteByte(levels[idx])
+	}
+	return b.String()
+}
+
+// topFrame assembles one dashboard frame as display lines.  The status
+// endpoint is mandatory; alerts, series, and cluster degrade to a note
+// so top still works against older servers.
+func topFrame(ctx context.Context, c *topClient) ([]string, error) {
+	var st topStatus
+	if err := c.get(ctx, "/v1/status", &st); err != nil {
+		return nil, err
+	}
+	var lines []string
+	lines = append(lines, fmt.Sprintf("resmod top · %s · up %s",
+		c.base, (time.Duration(st.UptimeSeconds)*time.Second).Round(time.Second)))
+
+	ratio := 0.0
+	if st.QueueCapacity > 0 {
+		ratio = float64(st.QueueDepth) / float64(st.QueueCapacity)
+	}
+	lines = append(lines, fmt.Sprintf(
+		"queue [%s] %d/%d   jobs %d (running %d)   campaigns %d running/%d queued   budget %d/%d",
+		bar(ratio), st.QueueDepth, st.QueueCapacity,
+		st.JobsTotal, st.Jobs["running"],
+		st.Scheduler.CampaignsRunning, st.Scheduler.CampaignsQueued,
+		st.Scheduler.WorkerBudgetInUse, st.Scheduler.WorkerBudgetSize))
+
+	var al topAlerts
+	if err := c.get(ctx, "/v1/alerts", &al); err != nil {
+		lines = append(lines, "alerts: unavailable ("+err.Error()+")")
+	} else {
+		var active []string
+		for _, a := range al.Alerts {
+			if a.State != "firing" && a.State != "pending" {
+				continue
+			}
+			name := a.Rule
+			if a.Instance != "" {
+				name += "/" + a.Instance
+			}
+			active = append(active, fmt.Sprintf("%s %s (%.3g)", strings.ToUpper(a.State), name, a.Value))
+		}
+		if len(active) == 0 {
+			lines = append(lines, "alerts: none")
+		} else {
+			lines = append(lines, "alerts: "+strings.Join(active, ", "))
+		}
+	}
+
+	for _, sp := range topSparks {
+		var sr topSeries
+		if err := c.get(ctx, "/v1/series?name="+sp.name+"&since=30m&max=48", &sr); err != nil {
+			continue // pre-series server: just omit the sparklines
+		}
+		vs := make([]float64, len(sr.Points))
+		last := 0.0
+		for i, p := range sr.Points {
+			vs[i] = p.V
+			last = p.V
+		}
+		lines = append(lines, fmt.Sprintf("%-10s %9.3g  |%s|", sp.label, last, sparkline(vs, 48)))
+	}
+
+	var cl topCluster
+	switch err := c.get(ctx, "/v1/cluster", &cl); {
+	case err != nil:
+		lines = append(lines, "fleet: unavailable ("+err.Error()+")")
+	case !cl.Coordinator:
+		lines = append(lines, "fleet: not a coordinator")
+	case len(cl.Workers) == 0:
+		lines = append(lines, "fleet: coordinator, no workers registered")
+	default:
+		lines = append(lines, fmt.Sprintf("fleet: %d/%d workers alive", cl.WorkersAlive, cl.WorkersKnown))
+		lines = append(lines, fmt.Sprintf("  %-16s %-5s %8s %10s %8s %8s",
+			"worker", "state", "hb-age", "trials/s", "shards", "inflight"))
+		for _, w := range cl.Workers {
+			state := "down"
+			if w.Alive {
+				state = "up"
+			}
+			inflight := "-"
+			if w.Stats != nil {
+				inflight = fmt.Sprint(w.Stats.ShardsInflight)
+			}
+			lines = append(lines, fmt.Sprintf("  %-16s %-5s %7.1fs %10.1f %8d %8s",
+				w.Name, state, float64(w.LastSeenMS)/1000, w.TrialsPerSec, w.ShardsDone, inflight))
+		}
+	}
+	return lines, nil
+}
+
+// doTop polls the target and renders frames until ctx is canceled (or
+// immediately once with -once, the scriptable/testable mode).
+func doTop(ctx context.Context, args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var o topOptions
+	fs.StringVar(&o.target, "target", "http://127.0.0.1:8080", "base `URL` of the resmod serve instance")
+	fs.DurationVar(&o.interval, "interval", 2*time.Second, "refresh interval")
+	fs.BoolVar(&o.once, "once", false, "render a single frame and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("top: unexpected arguments %v", fs.Args())
+	}
+	if err := o.validate(); err != nil {
+		return fmt.Errorf("top: %w", err)
+	}
+
+	c := &topClient{
+		base: strings.TrimRight(o.target, "/"),
+		hc:   &http.Client{Timeout: 10 * time.Second},
+	}
+	tty := isTTY(out)
+	drawn := 0
+	for {
+		lines, err := topFrame(ctx, c)
+		if err != nil {
+			if o.once {
+				return fmt.Errorf("top: %w", err)
+			}
+			// A transient fetch error becomes a frame, so a restarting
+			// server shows as "unreachable" rather than killing top.
+			lines = []string{fmt.Sprintf("resmod top · %s · unreachable: %v", c.base, err)}
+		}
+		var b strings.Builder
+		if tty && drawn > 0 {
+			fmt.Fprintf(&b, "\x1b[%dA", drawn)
+		}
+		for _, ln := range lines {
+			if tty {
+				b.WriteString("\x1b[2K")
+			}
+			b.WriteString(ln)
+			b.WriteByte('\n')
+		}
+		if tty && drawn > len(lines) {
+			b.WriteString("\x1b[0J") // frame shrank: clear leftovers
+		}
+		if !tty && !o.once {
+			b.WriteString("---\n")
+		}
+		fmt.Fprint(out, b.String())
+		drawn = len(lines)
+		if o.once {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(o.interval):
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"resmod/internal/dist"
+	"resmod/internal/server"
+)
+
+// TestTopFlagValidation: misconfigurations fail before any request is
+// sent, naming the bad flag.
+func TestTopFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-target", ""}, "-target"},
+		{[]string{"-target", "ftp://x"}, "-target"},
+		{[]string{"-interval", "0s"}, "-interval"},
+		{[]string{"extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		var out, errw bytes.Buffer
+		err := run(context.Background(), append([]string{"top"}, tc.args...), &out, &errw)
+		if err == nil {
+			t.Errorf("top %v accepted", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("top %v error %q does not name %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestTopOnceFrame renders a single frame against a real coordinator
+// server and checks every dashboard section appears: header, queue,
+// alerts, sparklines, and the fleet table with the registered worker.
+func TestTopOnceFrame(t *testing.T) {
+	pool := dist.NewPool(dist.PoolConfig{HeartbeatTimeout: time.Minute})
+	srv := server.New(server.Config{
+		Trials: 5, Seed: 42, Workers: 1, Queue: 8,
+		SampleEvery: 5 * time.Millisecond,
+		DistPool:    pool,
+	})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		_ = srv.Close(context.Background())
+	})
+	id := pool.Register("w1", "http://127.0.0.1:1")
+	pool.Heartbeat(id, nil)
+	time.Sleep(30 * time.Millisecond) // a few sampler ticks populate /v1/series
+
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), []string{"top",
+		"-target", hs.URL, "-once"}, &out, &errw); err != nil {
+		t.Fatalf("top -once: %v\nstderr: %s", err, errw.String())
+	}
+	frame := out.String()
+	for _, want := range []string{
+		"resmod top", "queue [", "alerts:", "trials/s", "fleet: 1/1 workers alive", "w1",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "\x1b[") {
+		t.Fatalf("non-TTY frame contains ANSI escapes:\n%s", frame)
+	}
+}
+
+// TestTopOnceUnreachable: -once against a dead target is an error, not
+// a silent empty frame.
+func TestTopOnceUnreachable(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run(context.Background(), []string{"top",
+		"-target", "http://127.0.0.1:1", "-once"}, &out, &errw)
+	if err == nil {
+		t.Fatal("top -once against a dead target succeeded")
+	}
+}
+
+// TestSparkline pins the ASCII sparkline: width, right-alignment, and
+// min/max mapping to the quietest/loudest glyphs.
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 8); got != strings.Repeat(" ", 8) {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	got := sparkline([]float64{0, 1, 2, 3}, 8)
+	if len(got) != 8 {
+		t.Fatalf("sparkline width = %d, want 8", len(got))
+	}
+	if !strings.HasPrefix(got, "    ") {
+		t.Fatalf("short series not right-aligned: %q", got)
+	}
+	if got[4] != ' ' || got[7] != '#' {
+		t.Fatalf("min/max glyphs wrong: %q", got)
+	}
+	// Longer than width keeps the newest points.
+	long := make([]float64, 100)
+	long[99] = 5
+	got = sparkline(long, 10)
+	if len(got) != 10 || got[9] != '#' {
+		t.Fatalf("truncated sparkline = %q", got)
+	}
+	// A flat series renders at the quiet level rather than dividing by zero.
+	if got := sparkline([]float64{2, 2, 2}, 3); got != "   " {
+		t.Fatalf("flat sparkline = %q", got)
+	}
+}

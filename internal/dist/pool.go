@@ -30,6 +30,12 @@ const (
 	DefaultShardsPerWorker = 4
 	// DefaultMinShard is the smallest chunk worth a network round trip.
 	DefaultMinShard = 8
+	// DefaultRetireMultiple sets the default roster-retirement horizon as
+	// a multiple of the heartbeat timeout: a worker silent this long is
+	// not "briefly partitioned", it is gone, and keeping it would grow
+	// the /v1/workers roster and the per-worker /metrics series without
+	// bound as workers churn.
+	DefaultRetireMultiple = 12
 )
 
 // PoolConfig configures the coordinator's worker pool.
@@ -45,6 +51,12 @@ type PoolConfig struct {
 	// ProgressEvery is the live shard-progress report cadence requested
 	// from workers (default defaultProgressEvery).
 	ProgressEvery time.Duration
+	// RetireAfter removes a worker from the roster entirely once its
+	// heartbeat has been stale this long (default DefaultRetireMultiple ×
+	// HeartbeatTimeout) — its labeled /metrics series and /v1/workers
+	// entry disappear instead of accumulating forever.  A retired worker
+	// that comes back simply re-registers.
+	RetireAfter time.Duration
 }
 
 // Pool is the coordinator's worker registry and shard dispatcher.  It
@@ -121,6 +133,9 @@ func NewPool(cfg PoolConfig) *Pool {
 	if cfg.MinShard <= 0 {
 		cfg.MinShard = DefaultMinShard
 	}
+	if cfg.RetireAfter <= 0 {
+		cfg.RetireAfter = DefaultRetireMultiple * cfg.HeartbeatTimeout
+	}
 	return &Pool{
 		cfg: cfg,
 		// Shards run for as long as their trials take: the dispatch
@@ -181,11 +196,26 @@ func (p *Pool) Heartbeat(id string, st *WorkerStats) bool {
 	return true
 }
 
+// pruneLocked retires workers whose heartbeat has been stale past
+// RetireAfter, so long-dead nodes stop occupying the roster (and their
+// labeled metric series stop being emitted).  Callers hold p.mu.
+func (p *Pool) pruneLocked(now time.Time) {
+	for id, wk := range p.workers {
+		wk.mu.Lock()
+		stale := now.Sub(wk.lastSeen) > p.cfg.RetireAfter
+		wk.mu.Unlock()
+		if stale {
+			delete(p.workers, id)
+		}
+	}
+}
+
 // alive snapshots the workers whose heartbeat is fresh.
 func (p *Pool) alive() []*poolWorker {
 	now := time.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.pruneLocked(now)
 	var out []*poolWorker
 	for _, wk := range p.workers {
 		if wk.aliveAt(now, p.cfg.HeartbeatTimeout) {
@@ -220,6 +250,7 @@ func (p *Pool) Workers() []WorkerInfo {
 	now := time.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.pruneLocked(now)
 	out := make([]WorkerInfo, 0, len(p.workers))
 	for _, wk := range p.workers {
 		wk.mu.Lock()

@@ -59,6 +59,12 @@ type Worker struct {
 	tel    *telemetry.Telemetry
 	client *http.Client
 
+	// series retains this node's own sampled counters; the sampler is
+	// ticked from the heartbeat loop (no extra goroutine, and retention
+	// stops exactly when the node stops announcing itself).
+	series  *telemetry.SeriesStore
+	sampler *telemetry.Sampler
+
 	id atomic.Value // string: coordinator-assigned worker id
 
 	mu      sync.Mutex
@@ -97,12 +103,34 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = DefaultHeartbeatEvery
 	}
-	return &Worker{
+	w := &Worker{
 		cfg:     cfg,
 		client:  &http.Client{Timeout: 10 * time.Second},
 		goldens: make(map[goldenKey]*goldenFlight),
 		start:   time.Now(),
-	}, nil
+	}
+	w.series = telemetry.NewSeriesStore()
+	w.sampler = telemetry.NewSampler(w.series, w.sample, cfg.HeartbeatEvery)
+	return w, nil
+}
+
+// sample is the worker's retention source: the same self-reported
+// counters that piggyback on heartbeats, so /v1/series on a worker node
+// answers the history behind its instantaneous /metrics.
+func (w *Worker) sample() telemetry.Samples {
+	st := w.stats()
+	return telemetry.Samples{
+		Gauges: map[string]float64{
+			"shards_inflight": float64(st.ShardsInflight),
+		},
+		Counters: map[string]float64{
+			"trials_done_total":         float64(st.TrialsDone),
+			"shards_done_total":         float64(st.ShardsDone),
+			"shards_failed_total":       float64(st.ShardsFailed),
+			"golden_cache_hits_total":   float64(st.GoldenHits),
+			"golden_cache_misses_total": float64(st.GoldenMisses),
+		},
+	}
 }
 
 // stats snapshots the worker's self-reported counters — the payload
@@ -137,6 +165,9 @@ func (w *Worker) Handler() http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /metrics", w.handleMetrics)
+	mux.HandleFunc("GET /v1/series", func(rw http.ResponseWriter, r *http.Request) {
+		telemetry.ServeSeries(w.series, rw, r)
+	})
 	return mux
 }
 
@@ -263,7 +294,10 @@ func (w *Worker) heartbeatLoop(ctx context.Context, name, advertise string) {
 			case <-ctx.Done():
 				ticker.Stop()
 				return
-			case <-ticker.C:
+			case now := <-ticker.C:
+				// Retention piggybacks on the heartbeat cadence: one
+				// sampler tick per announce, no dedicated timer.
+				w.sampler.SampleNow(now)
 			}
 			if err := w.heartbeat(ctx, id); err != nil {
 				log.Warn("worker heartbeat rejected, re-registering", "err", err)

@@ -1,0 +1,155 @@
+package server
+
+import "net/http"
+
+// handleDash is GET /debug/dash: a zero-dependency operator dashboard.
+// One embedded HTML page, no external assets, no build step — the page
+// polls the JSON surfaces this server already exposes (/v1/status,
+// /v1/series, /v1/alerts, /v1/cluster) and renders inline-SVG
+// sparklines client-side.  Everything it shows can also be read with
+// curl; the page is presentation only.
+func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(dashHTML))
+}
+
+const dashHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>resmod dash</title>
+<style>
+  body { font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 1.2em; background: #101418; color: #d8dee4; }
+  h1 { font-size: 15px; margin: 0 0 .6em; }
+  h1 small { color: #7b8794; font-weight: normal; }
+  .banner { padding: .5em .8em; border-radius: 4px; margin-bottom: 1em; }
+  .banner.ok { background: #11301c; color: #7ee2a8; }
+  .banner.bad { background: #3a1418; color: #ff8d8d; }
+  .grid { display: flex; flex-wrap: wrap; gap: 1em; }
+  .card { background: #171d24; border: 1px solid #232b35; border-radius: 6px;
+          padding: .7em .9em; min-width: 240px; }
+  .card b { color: #9fb3c8; font-weight: normal; font-size: 11px;
+            text-transform: uppercase; letter-spacing: .05em; }
+  .val { font-size: 20px; margin: .15em 0; }
+  svg { display: block; margin-top: .3em; }
+  .spark { stroke: #58a6ff; stroke-width: 1.5; fill: none; }
+  .sparkfill { fill: #58a6ff22; stroke: none; }
+  table { border-collapse: collapse; margin-top: .4em; width: 100%; }
+  th, td { text-align: left; padding: .15em .7em .15em 0; }
+  th { color: #7b8794; font-weight: normal; }
+  .up { color: #7ee2a8; } .down { color: #ff8d8d; }
+  .firing { color: #ff8d8d; } .pending { color: #e8c35c; }
+  .resolved { color: #7ee2a8; } .inactive { color: #7b8794; }
+  #err { color: #ff8d8d; }
+</style>
+</head>
+<body>
+<h1>resmod <small id="meta">connecting…</small></h1>
+<div id="alerts" class="banner ok">no alerts</div>
+<div class="grid" id="cards"></div>
+<div class="card" style="margin-top:1em">
+  <b>fleet</b>
+  <div id="fleet">not a coordinator</div>
+</div>
+<div class="card" style="margin-top:1em">
+  <b>alert rules</b>
+  <div id="rules"></div>
+</div>
+<div id="err"></div>
+<script>
+"use strict";
+const SPARKS = [
+  ["trials_total", "trials/sec"],
+  ["queue_depth", "queue depth"],
+  ["jobs_inflight", "jobs inflight"],
+  ["sheds_total", "sheds/sec"],
+  ["campaigns_running", "campaigns running"],
+  ["trial_latency_p99_seconds", "trial p99 (s)"],
+];
+const fmt = v => v == null ? "–" :
+  (Math.abs(v) >= 100 ? v.toFixed(0) : Math.abs(v) >= 1 ? v.toFixed(1) : v.toPrecision(2));
+function spark(points, w, h) {
+  if (!points || points.length < 2) {
+    return '<svg width="'+w+'" height="'+h+'"></svg>';
+  }
+  const vs = points.map(p => p.v);
+  const lo = Math.min(...vs), hi = Math.max(...vs), span = (hi - lo) || 1;
+  const xy = points.map((p, i) => [
+    (i / (points.length - 1)) * (w - 2) + 1,
+    h - 2 - ((p.v - lo) / span) * (h - 6),
+  ]);
+  const line = xy.map(c => c[0].toFixed(1) + "," + c[1].toFixed(1)).join(" ");
+  const area = "1," + (h - 1) + " " + line + " " + (w - 1) + "," + (h - 1);
+  return '<svg width="'+w+'" height="'+h+'">' +
+    '<polygon class="sparkfill" points="'+area+'"/>' +
+    '<polyline class="spark" points="'+line+'"/></svg>';
+}
+async function j(url) { const r = await fetch(url); if (!r.ok) throw new Error(url + ": " + r.status); return r.json(); }
+async function tick() {
+  try {
+    const [status, alerts] = await Promise.all([j("/v1/status"), j("/v1/alerts")]);
+    document.getElementById("meta").textContent =
+      "up " + fmt(status.uptime_seconds) + "s · queue " + status.queue_depth + "/" +
+      status.queue_capacity + " · jobs " + status.jobs_total +
+      " · campaigns running " + status.scheduler.campaigns_running;
+
+    const firing = alerts.alerts.filter(a => a.state === "firing");
+    const pending = alerts.alerts.filter(a => a.state === "pending");
+    const banner = document.getElementById("alerts");
+    if (firing.length) {
+      banner.className = "banner bad";
+      banner.textContent = "FIRING: " + firing.map(a =>
+        a.rule + (a.instance ? "/" + a.instance : "") + " (" + fmt(a.value) + ")").join(", ");
+    } else if (pending.length) {
+      banner.className = "banner bad";
+      banner.textContent = "pending: " + pending.map(a =>
+        a.rule + (a.instance ? "/" + a.instance : "")).join(", ");
+    } else {
+      banner.className = "banner ok";
+      banner.textContent = "no alerts";
+    }
+    document.getElementById("rules").innerHTML =
+      "<table><tr><th>rule</th><th>state</th><th>value</th><th>help</th></tr>" +
+      alerts.alerts.map(a =>
+        "<tr><td>" + a.rule + (a.instance ? "/" + a.instance : "") + "</td><td class=\"" +
+        a.state + "\">" + a.state + "</td><td>" + fmt(a.value) + "</td><td>" +
+        (a.help || "") + "</td></tr>").join("") + "</table>";
+
+    const cards = await Promise.all(SPARKS.map(async ([name, label]) => {
+      const res = await j("/v1/series?name=" + encodeURIComponent(name) + "&since=30m&max=60");
+      const pts = res.points;
+      const last = pts.length ? pts[pts.length - 1].v : null;
+      return '<div class="card"><b>' + label + '</b><div class="val">' + fmt(last) +
+        "</div>" + spark(pts, 220, 40) + "</div>";
+    }));
+    document.getElementById("cards").innerHTML = cards.join("");
+
+    const cl = await j("/v1/cluster");
+    const fleet = document.getElementById("fleet");
+    if (!cl.coordinator) {
+      fleet.textContent = "not a coordinator";
+    } else if (!cl.workers.length) {
+      fleet.textContent = "coordinator · no workers registered";
+    } else {
+      fleet.innerHTML =
+        "<table><tr><th>worker</th><th>state</th><th>hb age</th><th>trials/s</th>" +
+        "<th>shards done</th><th>inflight</th></tr>" +
+        cl.workers.map(w =>
+          "<tr><td>" + w.name + "</td><td class=\"" + (w.alive ? "up\">up" : "down\">down") +
+          "</td><td>" + fmt(w.last_seen_ms / 1000) + "s</td><td>" + fmt(w.trials_per_sec) +
+          "</td><td>" + w.shards_done + "</td><td>" +
+          (w.worker_stats ? w.worker_stats.shards_inflight : "–") + "</td></tr>").join("") +
+        "</table>";
+    }
+    document.getElementById("err").textContent = "";
+  } catch (e) {
+    document.getElementById("err").textContent = "refresh failed: " + e.message;
+  }
+}
+tick();
+setInterval(tick, 3000);
+</script>
+</body>
+</html>
+`

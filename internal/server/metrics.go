@@ -189,7 +189,7 @@ func (m *metrics) request(method, route string, code int) {
 // become per-campaign gauge series).
 func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats, engine telemetry.Snapshot,
 	sched exper.SchedulerStats, progress []telemetry.ProgressEvent, tenantInflight []tenantGauge,
-	distStats *dist.PoolStats, fleet []dist.WorkerInfo) {
+	distStats *dist.PoolStats, fleet []dist.WorkerInfo, alerts []telemetry.Alert) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -478,6 +478,34 @@ func (m *metrics) write(w io.Writer, queueDepth int, storeStats *store.Stats, en
 		counter("resmod_store_corrupt_total",
 			"Corrupt or partial store files skipped.", storeStats.Corrupt)
 	}
+
+	// Alert-state exposition: one series per rule instance, value encoding
+	// the state machine (0 inactive, 1 pending, 2 firing, 3 resolved), so
+	// an external scraper can alert on the alerts.  HELP/TYPE are always
+	// emitted for discoverability; the firing gauge gives the one-number
+	// health signal.
+	fmt.Fprintf(w, "# HELP resmod_alerts Alert rule states (0 inactive, 1 pending, 2 firing, 3 resolved).\n")
+	fmt.Fprintf(w, "# TYPE resmod_alerts gauge\n")
+	firing := 0
+	for _, a := range alerts {
+		v := 0
+		switch a.State {
+		case telemetry.AlertPending:
+			v = 1
+		case telemetry.AlertFiring:
+			v = 2
+			firing++
+		case telemetry.AlertResolved:
+			v = 3
+		}
+		if a.Instance != "" {
+			fmt.Fprintf(w, "resmod_alerts{rule=%q,instance=%q,state=%q} %d\n",
+				a.Rule, a.Instance, a.State, v)
+		} else {
+			fmt.Fprintf(w, "resmod_alerts{rule=%q,state=%q} %d\n", a.Rule, a.State, v)
+		}
+	}
+	gauge("resmod_alerts_firing", "Alert rule instances currently firing.", float64(firing))
 
 	fmt.Fprintf(w, "# HELP resmod_prediction_duration_seconds Wall time of computed predictions.\n")
 	fmt.Fprintf(w, "# TYPE resmod_prediction_duration_seconds histogram\n")

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"resmod/internal/telemetry"
+)
+
+// Series names the server's sampler records.  Per-worker series append
+// "/<worker name>" so wildcard alert rules ("worker_heartbeat_age_seconds/*")
+// track each node independently.
+const (
+	seriesQueueDepth      = "queue_depth"
+	seriesQueueSaturation = "queue_saturation"
+	seriesJobsInflight    = "jobs_inflight"
+	seriesCampaignsRun    = "campaigns_running"
+	seriesCampaignsQueued = "campaigns_queued"
+	seriesBudgetInUse     = "worker_budget_in_use"
+	seriesCampaignsStall  = "campaigns_stalled"
+	seriesTrialP50        = "trial_latency_p50_seconds"
+	seriesTrialP99        = "trial_latency_p99_seconds"
+	seriesFleetAlive      = "fleet_workers_alive"
+	seriesFleetKnown      = "fleet_workers_known"
+	seriesWorkerHBAge     = "worker_heartbeat_age_seconds/" // + worker name
+	seriesWorkerFlaps     = "worker_flaps_total/"           // + worker name
+
+	seriesTrials     = "trials_total"
+	seriesSheds      = "sheds_total"
+	series5xx        = "http_5xx_nondrain_total"
+	seriesRequeues   = "dist_shards_requeued_total"
+	seriesHeartbeats = "dist_heartbeats_total"
+)
+
+// http5xx sums the request counters with a 5xx status code.
+func (m *metrics) http5xx() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for k, v := range m.httpRequests {
+		if k.code >= 500 {
+			n += v
+		}
+	}
+	return n
+}
+
+// shedDrainTotal sums the drain-shed (503) counters across tenants.
+func (m *metrics) shedDrainTotal() uint64 {
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	var n uint64
+	for _, tm := range m.tenantsByN {
+		n += tm.shedDrain.Load()
+	}
+	return n
+}
+
+// sampleSource builds the server's telemetry.SampleSource.  Beyond
+// plain snapshot reads it derives two signals that need memory between
+// ticks:
+//
+//   - campaigns_stalled: how many campaigns on the progress bus are
+//     running with trials remaining but whose Done count did not advance
+//     since the previous sample — the alert engine's For-duration turns
+//     consecutive stalled samples into a campaign-stall alert.
+//   - worker_flaps_total/<name>: a per-worker counter incremented on
+//     every alive↔dead transition the coordinator observes, so a node
+//     whose heartbeat keeps lapsing surfaces as a flap rate instead of a
+//     series of isolated staleness blips.
+type sampleSource struct {
+	s *Server
+
+	mu        sync.Mutex
+	prevDone  map[string]uint64 // campaign key → Done at previous tick
+	prevAlive map[string]bool   // worker name → alive at previous tick
+	flaps     map[string]uint64 // worker name → transition count
+}
+
+func (s *Server) newSampleSource() telemetry.SampleSource {
+	src := &sampleSource{
+		s:         s,
+		prevDone:  make(map[string]uint64),
+		prevAlive: make(map[string]bool),
+		flaps:     make(map[string]uint64),
+	}
+	return src.sample
+}
+
+func (ss *sampleSource) sample() telemetry.Samples {
+	s := ss.s
+	sched := s.session.SchedulerStats()
+	engine := s.recorder.Snapshot()
+	depth := s.queue.depth()
+	saturation := 0.0
+	if s.cfg.Queue > 0 {
+		saturation = float64(depth) / float64(s.cfg.Queue)
+	}
+	fiveXX := s.metrics.http5xx()
+	if drained := s.metrics.shedDrainTotal(); drained < fiveXX {
+		fiveXX -= drained
+	} else {
+		fiveXX = 0
+	}
+
+	gauges := map[string]float64{
+		seriesQueueDepth:      float64(depth),
+		seriesQueueSaturation: saturation,
+		seriesJobsInflight:    float64(s.metrics.inflight.Load()),
+		seriesCampaignsRun:    float64(sched.CampaignsRunning),
+		seriesCampaignsQueued: float64(sched.CampaignsQueued),
+		seriesBudgetInUse:     float64(sched.WorkerBudgetInUse),
+		seriesTrialP50:        engine.TrialLatency.Quantile(0.5),
+		seriesTrialP99:        engine.TrialLatency.Quantile(0.99),
+	}
+	counters := map[string]float64{
+		seriesTrials: float64(engine.TrialsTotal()),
+		seriesSheds:  float64(s.metrics.rejected.Load()),
+		series5xx:    float64(fiveXX),
+	}
+
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+
+	// Campaign stall: a running campaign whose Done froze between ticks.
+	stalled := 0
+	seen := make(map[string]bool)
+	for _, ev := range s.progress.Latest() {
+		if ev.Kind != telemetry.KindCampaign {
+			continue
+		}
+		seen[ev.Key] = true
+		if ev.State == telemetry.StateRunning && ev.Done < ev.Total {
+			if prev, ok := ss.prevDone[ev.Key]; ok && prev == ev.Done {
+				stalled++
+			}
+		}
+		ss.prevDone[ev.Key] = ev.Done
+	}
+	for key := range ss.prevDone {
+		if !seen[key] {
+			delete(ss.prevDone, key)
+		}
+	}
+	gauges[seriesCampaignsStall] = float64(stalled)
+
+	if s.cfg.DistPool != nil {
+		st := s.cfg.DistPool.Stats()
+		gauges[seriesFleetAlive] = float64(st.WorkersAlive)
+		gauges[seriesFleetKnown] = float64(st.WorkersKnown)
+		counters[seriesRequeues] = float64(st.ShardsRequeued)
+		counters[seriesHeartbeats] = float64(st.Heartbeats)
+		roster := make(map[string]bool)
+		for _, wi := range s.cfg.DistPool.Workers() {
+			roster[wi.Name] = true
+			gauges[seriesWorkerHBAge+wi.Name] = float64(wi.LastSeenMS) / 1000
+			if prev, ok := ss.prevAlive[wi.Name]; ok && prev != wi.Alive {
+				ss.flaps[wi.Name]++
+			}
+			ss.prevAlive[wi.Name] = wi.Alive
+			counters[seriesWorkerFlaps+wi.Name] = float64(ss.flaps[wi.Name])
+		}
+		// Retired workers drop out of the derived series too.
+		for name := range ss.prevAlive {
+			if !roster[name] {
+				delete(ss.prevAlive, name)
+				delete(ss.flaps, name)
+			}
+		}
+	}
+	return telemetry.Samples{Gauges: gauges, Counters: counters}
+}
+
+// handleSeries is GET /v1/series: the retained time-series query
+// surface (no name lists series and windows; with ?name=&since=&max=
+// it returns downsampled points).
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	telemetry.ServeSeries(s.series, w, r)
+}
+
+// handleServerEvents is GET /v1/events: the server-wide progress bus as
+// one Server-Sent Events stream — every campaign/prediction snapshot
+// and every alert transition, replayed-then-live.  Unlike the per-job
+// stream it has no terminal event; it runs until the client hangs up.
+func (s *Server) handleServerEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	sub := s.progress.Subscribe(256)
+	defer sub.Close()
+
+	ticker := time.NewTicker(s.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.quit:
+			return
+		case <-ticker.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case ev := <-sub.Events():
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -76,6 +76,16 @@ type Config struct {
 	// HeartbeatEvery is the SSE keep-alive comment period on
 	// /v1/predictions/{id}/events (default 15s); tests shrink it.
 	HeartbeatEvery time.Duration
+	// SampleEvery is the telemetry retention sampler period (default
+	// 10s); tests shrink it.  Sampling is observation-only — it reads
+	// atomic counters and published snapshots, never engine state.
+	SampleEvery time.Duration
+	// SeriesWindows overrides the retention tiers (default
+	// telemetry.DefaultWindows: 10s×360 + 1m×720).
+	SeriesWindows []telemetry.Window
+	// AlertRules replaces the built-in alert rule set when non-empty
+	// (BuiltinRules documents the defaults).
+	AlertRules []telemetry.Rule
 	// Store, when non-nil, persists campaign summaries and prediction
 	// rows so identical work is computed once ever.
 	Store *store.Store
@@ -119,6 +129,9 @@ func (c Config) withDefaults() Config {
 	if c.HeartbeatEvery <= 0 {
 		c.HeartbeatEvery = 15 * time.Second
 	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 10 * time.Second
+	}
 	return c
 }
 
@@ -130,6 +143,9 @@ type Server struct {
 	recorder *telemetry.Recorder
 	tel      *telemetry.Telemetry
 	progress *telemetry.Progress // server-wide bus; every job bus forwards here
+	series   *telemetry.SeriesStore
+	sampler  *telemetry.Sampler
+	alerts   *telemetry.AlertEngine
 	mux      *http.ServeMux
 
 	baseCtx   context.Context
@@ -168,6 +184,20 @@ func New(cfg Config) *Server {
 	s.tel = telemetry.New(logger, nil, s.recorder)
 	s.progress = telemetry.NewProgress()
 
+	// Retention + alerting: the sampler snapshots the counters above into
+	// bounded ring windows every SampleEvery, and each tick drives one
+	// alert evaluation so rules always judge fresh points.  All of it is
+	// read-only over atomics and published snapshots — campaign results
+	// stay byte-identical with the whole stack enabled.
+	s.series = telemetry.NewSeriesStore(cfg.SeriesWindows...)
+	s.sampler = telemetry.NewSampler(s.series, s.newSampleSource(), cfg.SampleEvery)
+	rules := cfg.AlertRules
+	if len(rules) == 0 {
+		rules = BuiltinRules(cfg.SampleEvery)
+	}
+	s.alerts = telemetry.NewAlertEngine(s.series, s.progress, rules)
+	s.sampler.OnSample(func(now time.Time) { s.alerts.Evaluate(now) })
+
 	sessCfg := exper.Config{
 		Trials: cfg.Trials, Seed: cfg.Seed, Workers: cfg.CampaignWorkers,
 		CampaignParallel: cfg.CampaignParallel,
@@ -191,6 +221,10 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /v1/predictions/{id}/events", s.instrument("/v1/predictions/{id}/events", s.handleEvents))
 	mux.Handle("GET /v1/predictions", s.instrument("/v1/predictions", s.handleList))
 	mux.Handle("GET /v1/status", s.instrument("/v1/status", s.handleStatus))
+	mux.Handle("GET /v1/series", s.instrument("/v1/series", s.handleSeries))
+	mux.Handle("GET /v1/alerts", s.instrument("/v1/alerts", s.handleAlerts))
+	mux.Handle("GET /v1/events", s.instrument("/v1/events", s.handleServerEvents))
+	mux.Handle("GET /debug/dash", s.instrument("/debug/dash", s.handleDash))
 	mux.Handle("GET /v1/apps", s.instrument("/v1/apps", s.handleApps))
 	mux.Handle("GET /v1/workers", s.instrument("/v1/workers", s.handleWorkers))
 	mux.Handle("GET /v1/cluster", s.instrument("/v1/cluster", s.handleCluster))
@@ -210,6 +244,11 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.sampler.Run(s.quit)
+	}()
 	return s
 }
 
@@ -732,7 +771,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.write(w, s.queue.depth(), storeStats, s.recorder.Snapshot(),
 		s.session.SchedulerStats(), s.progress.Latest(), s.tenants.inflightSnapshot(),
-		distStats, fleet)
+		distStats, fleet, s.alerts.Alerts())
 }
 
 // ---- prediction store ------------------------------------------------------

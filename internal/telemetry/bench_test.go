@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"resmod/internal/race"
+)
+
+// benchSource mimics the server's sample source: a realistic mix of
+// gauges and counters per tick.
+func benchSource() Samples {
+	return Samples{
+		Gauges: map[string]float64{
+			"queue_depth":         3,
+			"queue_saturation":    0.2,
+			"jobs_inflight":       2,
+			"campaigns_running":   1,
+			"fleet_workers_alive": 4,
+		},
+		Counters: map[string]float64{
+			"trials_total":   123456,
+			"sheds_total":    17,
+			"http_5xx_total": 2,
+		},
+	}
+}
+
+// BenchmarkSamplerTick measures one full sampling tick (source read,
+// gauge stores, counter differentiation) — the recurring cost of
+// retention, paid every SampleEvery regardless of load.
+func BenchmarkSamplerTick(b *testing.B) {
+	store := NewSeriesStore()
+	sm := NewSampler(store, benchSource, time.Second)
+	now := time.Unix(1_000_000, 0)
+	sm.SampleNow(now)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(time.Second)
+		sm.SampleNow(now)
+	}
+}
+
+// BenchmarkSeriesQuery measures a dashboard-style read: an hour of 10s
+// points downsampled to 60.
+func BenchmarkSeriesQuery(b *testing.B) {
+	store := NewSeriesStore()
+	base := time.Unix(1_000_000, 0)
+	for i := 0; i < 360; i++ {
+		store.Observe("x", base.Add(time.Duration(i)*10*time.Second), float64(i))
+	}
+	since := base.Add(-time.Minute)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Query("x", since, 60)
+	}
+}
+
+// TestSamplerTickAllocBounded pins the sampler's steady-state
+// allocation footprint so retention stays cheap enough to leave on
+// everywhere: the source map construction dominates; the store side
+// must not allocate per tick once rings exist.
+func TestSamplerTickAllocBounded(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	store := NewSeriesStore()
+	sm := NewSampler(store, benchSource, time.Second)
+	now := time.Unix(1_000_000, 0)
+	sm.SampleNow(now) // warm: create rings, seed baselines
+	avg := testing.AllocsPerRun(200, func() {
+		now = now.Add(time.Second)
+		sm.SampleNow(now)
+	})
+	// benchSource itself builds two maps (~10+ allocs); the bound leaves
+	// headroom for map internals but catches any per-tick ring growth.
+	const bound = 32
+	if avg > bound {
+		t.Errorf("sampler tick allocates %.1f allocs/run; want <= %d", avg, bound)
+	}
+}

@@ -13,6 +13,10 @@ const (
 	// KindPrediction events aggregate one prediction's campaign DAG
 	// across the concurrent scheduler (key: the prediction label).
 	KindPrediction = "prediction"
+	// KindAlert events announce alert-rule transitions (key: the rule
+	// name, or rule/instance for wildcard rules); State carries the
+	// alert state (pending/firing/resolved), not a lifecycle state.
+	KindAlert = "alert"
 )
 
 // Progress event states.

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// SeriesResponse is the GET /v1/series JSON document with a name: the
+// selected points plus the query echo.
+type SeriesResponse struct {
+	Name      string        `json:"name"`
+	SinceUnix int64         `json:"since_unix"`
+	Points    []SamplePoint `json:"points"`
+}
+
+// SeriesIndexResponse is the GET /v1/series document without a name:
+// what can be queried.
+type SeriesIndexResponse struct {
+	Series  []string `json:"series"`
+	Windows []Window `json:"windows"`
+}
+
+// defaultSeriesSpan is how far back a /v1/series query reaches when no
+// since parameter is given.
+const defaultSeriesSpan = time.Hour
+
+// ServeSeries answers a GET /v1/series request from the store: no
+// ?name= lists the known series and retention windows; with one, the
+// points since ?since= (unix seconds, or a relative duration like
+// "5m"), optionally downsampled to ?max= points.  Both the prediction
+// server and the standalone worker mount this, so the query surface is
+// identical fleet-wide.  Nil-safe: a nil store serves an empty index.
+func ServeSeries(store *SeriesStore, w http.ResponseWriter, r *http.Request) {
+	writeJSON := func(code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		names := store.Names()
+		if names == nil {
+			names = []string{}
+		}
+		windows := store.Windows()
+		if windows == nil {
+			windows = []Window{}
+		}
+		writeJSON(http.StatusOK, SeriesIndexResponse{Series: names, Windows: windows})
+		return
+	}
+	since := time.Now().Add(-defaultSeriesSpan)
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		if unix, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			since = time.Unix(unix, 0)
+		} else if d, err := time.ParseDuration(raw); err == nil {
+			if d < 0 {
+				d = -d
+			}
+			since = time.Now().Add(-d)
+		} else {
+			writeJSON(http.StatusBadRequest, map[string]string{
+				"error": "since must be unix seconds or a duration like 5m",
+			})
+			return
+		}
+	}
+	maxPoints := 0
+	if raw := r.URL.Query().Get("max"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeJSON(http.StatusBadRequest, map[string]string{
+				"error": "max must be a non-negative integer",
+			})
+			return
+		}
+		maxPoints = n
+	}
+	pts := store.Query(name, since, maxPoints)
+	if pts == nil {
+		pts = []SamplePoint{}
+	}
+	writeJSON(http.StatusOK, SeriesResponse{
+		Name: name, SinceUnix: since.Unix(), Points: pts,
+	})
+}

@@ -60,6 +60,12 @@ done
 grep -q '"ok": 0,' "$out" && fail "report shows zero successes"
 grep -q '"other_5xx": 0,' "$out" || fail "report shows non-drain 5xx responses"
 
+# The wall-time window must be stamped so the run can be correlated
+# against the server's /v1/series retention.
+grep -Eq '"started_at": "[0-9]{4}-' "$out" || fail "report missing started_at"
+grep -Eq '"start_unix": [1-9][0-9]*' "$out" || fail "report missing start_unix"
+grep -Eq '"end_unix": [1-9][0-9]*' "$out" || fail "report missing end_unix"
+
 kill -TERM "$pid"
 wait "$pid" || fail "non-zero exit after SIGTERM"
 grep -q "drained cleanly" "$log" || fail "no clean-drain log line"

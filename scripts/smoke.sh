@@ -61,7 +61,9 @@ go build -o "$workdir/resmod" ./cmd/resmod
 body='{"app":"PENNANT","small":4,"large":8}'
 
 # --- cold run: compute one prediction, then stop -------------------------
-boot cold
+# -sample-every 100ms makes the retention/alerting surfaces populate
+# within the run instead of on the production 10s cadence.
+boot cold -sample-every 100ms
 id=$(curl -fsS -X POST "http://$addr/v1/predictions" -d "$body" |
     sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p') || true
 [ -n "$id" ] || fail "submit returned no job id"
@@ -127,6 +129,33 @@ echo "$status_doc" | grep -q '"done": 2' ||
     fail "/v1/status does not report 2 done jobs: $status_doc"
 echo "$status_doc" | grep -Eq '"campaigns_tracked": [1-9]' ||
     fail "/v1/status tracked no campaigns: $status_doc"
+
+# Retention, alerting, and the dashboard (PR 10): sampled series are
+# queryable, the alert engine answers with its built-in rule set (and
+# nothing fires on a healthy run), the embedded dashboard serves, and
+# the alert metric families reach /metrics.
+curl -fsS "http://$addr/v1/series" | grep -q '"trials_total"' ||
+    fail "/v1/series index missing the trials_total series"
+curl -fsS "http://$addr/v1/series?name=queue_depth&since=10m&max=50" |
+    grep -q '"name": "queue_depth"' || fail "/v1/series query failed"
+alerts_doc=$(curl -fsS "http://$addr/v1/alerts")
+echo "$alerts_doc" | grep -q '"name": "queue-saturation"' ||
+    fail "/v1/alerts missing the built-in rules: $alerts_doc"
+echo "$alerts_doc" | grep -q '"firing": 0' ||
+    fail "healthy smoke run has firing alerts: $alerts_doc"
+curl -fsS "http://$addr/debug/dash" | grep -q 'resmod dash' ||
+    fail "/debug/dash did not serve the dashboard"
+metrics=$(curl -fsS "http://$addr/metrics")
+echo "$metrics" | grep -q '^# TYPE resmod_alerts gauge' ||
+    fail "resmod_alerts family missing from /metrics"
+echo "$metrics" | grep -q '^resmod_alerts_firing 0$' ||
+    fail "resmod_alerts_firing missing or non-zero"
+
+# The terminal dashboard renders one frame off the same surfaces.
+"$workdir/resmod" top -target "http://$addr" -once >"$workdir/top.out" ||
+    fail "resmod top -once failed"
+grep -q 'resmod top' "$workdir/top.out" || fail "top frame missing header"
+grep -q 'alerts: none' "$workdir/top.out" || fail "top frame shows alerts on a healthy run"
 shutdown
 
 # --- warm run: a fresh process over the same store answers from disk -----
@@ -194,4 +223,4 @@ echo "$metrics" | grep -q '^# TYPE resmod_queue_wait_seconds histogram' ||
     fail "queue-wait histogram family missing"
 shutdown
 
-echo "smoke: OK (cold compute, live SSE progress, status + metrics, warm store hit across restart, tenancy + idempotent replay + 429 shedding, clean drains)"
+echo "smoke: OK (cold compute, live SSE progress, status + metrics, series retention + alerts + dashboard + top, warm store hit across restart, tenancy + idempotent replay + 429 shedding, clean drains)"
